@@ -1,0 +1,14 @@
+"""Appendix cost estimation: dollars per million inferences."""
+
+from repro.experiments import cost
+
+
+def test_cost(benchmark, report):
+    result = benchmark(cost.run)
+    report(result)
+
+    for row in result.rows:
+        if str(row["engine"]).startswith("FPGA"):
+            assert row["cost_ratio_vs_cpu"] < 0.5, (
+                "FPGA must be beneficial long-term (paper appendix)"
+            )

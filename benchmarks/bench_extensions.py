@@ -1,0 +1,79 @@
+"""Benches for the extension experiments: queuing ablation, serving SLA,
+quantisation accuracy, related-work comparison, table compression."""
+
+from repro.experiments import (
+    cache_study,
+    compression,
+    quantization,
+    queuing,
+    related_work,
+    serving_sla,
+)
+
+
+def test_queuing_ablation(benchmark, report):
+    result = benchmark(queuing.run)
+    report(result)
+    for row in result.rows:
+        if "cartesian_benefit_queued" in row:
+            assert row["cartesian_benefit_queued"] < 0.95, (
+                "Cartesian benefit must survive the queued DRAM model"
+            )
+
+
+def test_serving_sla(benchmark, report):
+    result = benchmark(serving_sla.run)
+    report(result)
+    cap = next(r for r in result.rows if r["engine"] == "sla-capacity")
+    assert cap["fpga_capacity_per_s"] >= 5 * cap["cpu_capacity_per_s"], (
+        "pipelined engine must sustain far more load under the SLA"
+    )
+
+
+def test_quantization_accuracy(benchmark, report):
+    result = benchmark.pedantic(quantization.run, rounds=1, iterations=1)
+    report(result)
+    for row in result.rows:
+        if row["precision"] != "fp32":
+            assert abs(row["auc_drop_vs_fp32"]) < 5e-3, (
+                "fixed-point serving must not cost ranking quality"
+            )
+
+
+def test_compression(benchmark, report):
+    result = benchmark(compression.run)
+    report(result)
+    rows = {
+        (r["model"], r["tables"], r["cartesian"]): r for r in result.rows
+    }
+    for name in ("small", "large"):
+        fp32 = rows[(name, "fp32", "without")]
+        int8 = rows[(name, "int8", "without")]
+        assert int8["storage_gb"] < fp32["storage_gb"] / 2.5
+        assert int8["dram_rounds"] <= fp32["dram_rounds"]
+        assert int8["lookup_ns"] < fp32["lookup_ns"]
+        # Compression + merging is never worse than compression alone.
+        both = rows[(name, "int8", "with")]
+        assert both["lookup_ns"] <= int8["lookup_ns"] + 1e-9
+
+
+def test_cache_study(benchmark, report):
+    result = benchmark.pedantic(cache_study.run, rounds=1, iterations=1)
+    report(result)
+    rows = {(r["zipf_alpha"], r["cache_rows"]): r for r in result.rows}
+    # Caching is statistical: no skew, no benefit; skew + capacity, big win.
+    assert rows[(0.0, 256)]["hit_rate"] < 0.05
+    assert rows[(1.3, 4096)]["hit_rate"] > 0.6
+    assert (
+        rows[(1.3, 4096)]["effective_ns"] < rows[(1.3, 4096)]["uncached_ns"] * 0.7
+    )
+
+
+def test_related_work(benchmark, report):
+    result = benchmark(related_work.run)
+    report(result)
+    rows = {r["batch"]: r for r in result.rows if r["batch"] != "microrec"}
+    micro = next(r for r in result.rows if r["batch"] == "microrec")
+    assert rows[64]["gpu_ms"] > rows[64]["cpu_ms"]
+    assert rows[8192]["gpu_items_s"] > rows[8192]["cpu_items_s"]
+    assert micro["fpga_items_s"] > rows[2048]["nmp_items_s"]

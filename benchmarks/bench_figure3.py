@@ -1,0 +1,10 @@
+"""Figure 3: embedding layer share of CPU inference latency."""
+
+from repro.experiments import figure3
+
+
+def test_figure3(benchmark, report):
+    result = benchmark(figure3.run)
+    report(result)
+    for row in result.rows:
+        assert row["embedding_share"] > 0.5, "embedding layer must dominate"

@@ -1,0 +1,21 @@
+"""Figure 7: end-to-end throughput under multi-round lookups."""
+
+from repro.experiments import figure7
+
+
+def test_figure7(benchmark, report):
+    result = benchmark(figure7.run)
+    report(result)
+
+    for model in ("small", "large"):
+        series = {
+            r["rounds"]: r["relative"]
+            for r in result.rows
+            if r["model"] == model
+        }
+        # Flat region: several rounds tolerated with zero throughput loss.
+        assert series[3] == 1.0, f"{model}: flat region missing"
+        # Memory-bound decay afterwards.
+        assert series[10] < 0.85, f"{model}: decay regime missing"
+    tol = {r["model"]: r["tolerated_rounds"] for r in result.rows}
+    assert tol["small"] >= 4 and tol["large"] >= 3

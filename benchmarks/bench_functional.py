@@ -1,0 +1,83 @@
+"""Wall-clock benchmarks of the *functional* (NumPy) datapath.
+
+Unlike the analytical tables these measure real work: gathers through
+merged Cartesian tables vs separate per-table gathers, and full inference
+through the engine vs the CPU reference.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.cartesian import CartesianTable, MergeGroup
+from repro.core.engine import MicroRecEngine
+from repro.core.tables import TableSpec, make_tables
+from repro.models.spec import production_small
+from repro.models.workload import QueryGenerator
+
+BATCH = 4096
+
+
+@pytest.fixture(scope="module")
+def merged_pair():
+    specs = [TableSpec(0, rows=500, dim=8), TableSpec(1, rows=400, dim=8)]
+    tables = make_tables(specs, seed=0, materialize_below_bytes=1 << 30)
+    ct = CartesianTable(MergeGroup((0, 1)), [tables[0], tables[1]])
+    product = ct.materialize()
+    rng = np.random.default_rng(0)
+    idx = np.stack(
+        [rng.integers(0, 500, BATCH), rng.integers(0, 400, BATCH)], axis=1
+    )
+    return tables, ct, product, idx
+
+
+def test_separate_gathers(benchmark, merged_pair):
+    tables, ct, product, idx = merged_pair
+
+    def separate():
+        return np.concatenate(
+            [tables[0].lookup(idx[:, 0]), tables[1].lookup(idx[:, 1])], axis=1
+        )
+
+    out = benchmark(separate)
+    assert out.shape == (BATCH, 16)
+
+
+def test_merged_gather(benchmark, merged_pair):
+    """One gather on the materialised product replaces two gathers —
+    the in-memory analogue of the single DRAM access."""
+    tables, ct, product, idx = merged_pair
+    merged_idx = ct.merged_index(idx)
+
+    out = benchmark(product.lookup, merged_idx)
+    assert out.shape == (BATCH, 16)
+    expected = np.concatenate(
+        [tables[0].lookup(idx[:, 0]), tables[1].lookup(idx[:, 1])], axis=1
+    )
+    np.testing.assert_array_equal(out, expected)
+
+
+@pytest.fixture(scope="module")
+def scaled_engine():
+    model = production_small().scaled(max_rows=2048)
+    engine = MicroRecEngine.build(model, seed=0, materialize_below_bytes=1 << 22)
+    batch = QueryGenerator(model, seed=0).batch(256)
+    return engine, batch
+
+
+def test_engine_embedding_layer(benchmark, scaled_engine):
+    engine, batch = scaled_engine
+    out = benchmark(engine.lookup_embeddings, batch)
+    assert out.shape == (256, engine.model.feature_len)
+
+
+def test_reference_embedding_layer(benchmark, scaled_engine):
+    engine, batch = scaled_engine
+    ref = engine.reference_engine()
+    out = benchmark(ref.embed, batch)
+    assert out.shape == (256, engine.model.feature_len)
+
+
+def test_engine_full_inference(benchmark, scaled_engine):
+    engine, batch = scaled_engine
+    preds = benchmark(engine.infer, batch)
+    assert preds.shape == (256,)

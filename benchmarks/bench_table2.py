@@ -1,0 +1,27 @@
+"""Table 2: end-to-end inference, CPU baseline vs MicroRec.
+
+Regenerates the full CPU batch sweep and FPGA fixed16/fixed32 rows; the
+shape claims guarded here are the paper's headline numbers: 2.5-5.4x
+throughput speedup and microsecond-scale single-item latency.
+"""
+
+from repro.experiments import paper_data, table2
+
+
+def test_table2(benchmark, report):
+    result = benchmark(table2.run)
+    report(result)
+
+    lo, hi = table2.speedup_range(result)
+    paper_lo, paper_hi = paper_data.TABLE2_SPEEDUP_RANGE
+    assert lo > 0.8 * paper_lo, f"low-end speedup {lo:.2f} collapsed"
+    assert hi > 0.7 * paper_hi, f"high-end speedup {hi:.2f} collapsed"
+
+    fpga_lat_us = [
+        r["latency_ms"] * 1e3
+        for r in result.rows
+        if str(r["engine"]).startswith("FPGA")
+    ]
+    assert min(fpga_lat_us) > 10 and max(fpga_lat_us) < 40, (
+        "FPGA latency must stay in the paper's 16.3-31.0 us band"
+    )

@@ -1,0 +1,23 @@
+"""Table 3: Cartesian products — benefit and overhead.
+
+The benchmarked callable runs the planner twice per production model
+(with/without merging); assertions pin the paper's exact round reductions
+(2->1 and 3->2) and the "marginal storage" claim.
+"""
+
+from repro.experiments import table3
+
+
+def test_table3(benchmark, report):
+    result = benchmark(table3.run)
+    report(result)
+
+    rows = {(r["model"], r["cartesian"]): r for r in result.rows}
+    assert rows[("small", "without")]["dram_rounds"] == 2
+    assert rows[("small", "with")]["dram_rounds"] == 1
+    assert rows[("large", "without")]["dram_rounds"] == 3
+    assert rows[("large", "with")]["dram_rounds"] == 2
+    for model in ("small", "large"):
+        with_row = rows[(model, "with")]
+        assert with_row["storage_rel"] < 1.04, "storage overhead not marginal"
+        assert with_row["latency_rel"] < 0.85, "Cartesian must cut latency"

@@ -1,0 +1,17 @@
+"""Table 4: embedding layer — CPU batch sweep vs FPGA HBM / HBM+Cartesian."""
+
+from repro.experiments import table4
+
+
+def test_table4(benchmark, report):
+    result = benchmark(table4.run)
+    report(result)
+
+    speedups = table4.speedups_at(result, 2048)
+    for model, s in speedups.items():
+        # Paper at B=2048: HBM alone 8.2-11.1x, with Cartesian 13.8-14.7x.
+        assert s["hbm"] > 6.0, f"{model}: HBM speedup collapsed"
+        assert s["cartesian"] > 11.0, f"{model}: Cartesian speedup collapsed"
+        assert s["cartesian"] / s["hbm"] > 1.2, (
+            f"{model}: Cartesian must add a further factor over HBM"
+        )

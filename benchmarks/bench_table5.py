@@ -1,0 +1,27 @@
+"""Table 5: DLRM-RMC2 lookups vs the Facebook baseline.
+
+Sweeps 8/12 tables x dims {4..64}; guards the paper's crossover structure
+(one HBM round at 8 tables, two at 12) and the orientation of the speedup
+range (best at 8 tables/dim 4, worst at 12 tables/dim 64).
+"""
+
+from repro.experiments import table5
+
+
+def test_table5(benchmark, report):
+    result = benchmark(table5.run)
+    report(result)
+
+    by_key = {(r["tables"], r["dim"]): r for r in result.rows}
+    # Round structure: 12-table lookups take ~2x the 8-table time.
+    for dim in (4, 8, 16, 32, 64):
+        ratio = by_key[(12, dim)]["lookup_ns"] / by_key[(8, dim)]["lookup_ns"]
+        assert 1.8 < ratio < 2.2, f"dim={dim}: round structure lost"
+    # Latencies track the paper within 5%.
+    for row in result.rows:
+        assert abs(row["lookup_ns"] / row["paper_lookup_ns"] - 1) < 0.05
+    # Speedup orientation.
+    best = max(result.rows, key=lambda r: r["speedup"])
+    worst = min(result.rows, key=lambda r: r["speedup"])
+    assert (best["tables"], best["dim"]) == (8, 4)
+    assert (worst["tables"], worst["dim"]) == (12, 64)

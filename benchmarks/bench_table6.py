@@ -1,0 +1,16 @@
+"""Table 6: FPGA resource utilisation and clock frequency."""
+
+from repro.experiments import table6
+
+
+def test_table6(benchmark, report):
+    result = benchmark(table6.run)
+    report(result)
+
+    for row in result.rows:
+        for res in ("bram", "dsp", "ff", "lut", "uram"):
+            measured, paper = row[res], row[f"paper_{res}"]
+            assert abs(measured / paper - 1) < 0.03, (row["model"], res)
+        assert row["freq_mhz"] == row["paper_freq"]
+        # High utilisation is the paper's explanation for 120-140 MHz.
+        assert row["bram_util"] > 0.7

@@ -1,0 +1,32 @@
+"""Benchmark-suite configuration.
+
+Each ``bench_*`` module regenerates one table or figure from the paper's
+evaluation section: the benchmarked callable is the experiment's
+computational core, the rendered paper-vs-measured table is printed to
+stdout (run with ``-s`` to see it inline; it is also attached to the
+benchmark's ``extra_info``), and shape assertions guard the qualitative
+claims.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def attach_and_print(benchmark, result, render):
+    """Attach the rendered experiment table to the benchmark record."""
+    text = render(result)
+    print("\n" + text)
+    benchmark.extra_info["experiment"] = result.experiment_id
+    benchmark.extra_info["rows"] = len(result.rows)
+    return text
+
+
+@pytest.fixture
+def report(benchmark):
+    def _report(result):
+        from repro.experiments.report import render_table
+
+        return attach_and_print(benchmark, result, render_table)
+
+    return _report

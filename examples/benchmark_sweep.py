@@ -1,0 +1,54 @@
+"""Benchmark-model sweep: DLRM-RMC2 lookups and multi-round architectures.
+
+Two studies on the Facebook benchmark family the paper evaluates in
+section 5.4.2:
+
+* the Table 5 grid — lookup latency over table counts and embedding dims,
+  showing the round structure (one HBM round at <=32 lookups, two beyond);
+* the Figure 7 question for these models — how many lookups per table the
+  pipelined engine tolerates before going memory-bound.
+
+Run:  python examples/benchmark_sweep.py
+"""
+
+from __future__ import annotations
+
+from repro import MicroRecEngine, dlrm_rmc2, u280_memory_system
+from repro.experiments.calibration import default_timing
+from repro.fpga.lookup import replicated_lookup_ns
+from repro.memory.spec import BankKind
+
+
+def table5_grid() -> None:
+    timing = default_timing()
+    channels = len(u280_memory_system().banks_of(BankKind.HBM))
+    dims = (4, 8, 16, 32, 64)
+    print("lookup latency (ns), 4 lookups/table over 32 HBM channels:")
+    print(f"{'tables':>7} " + " ".join(f"d={d:<6}" for d in dims))
+    for tables in (8, 10, 12):
+        cells = [
+            replicated_lookup_ns(tables * 4, d * 4, channels, timing)
+            for d in dims
+        ]
+        print(f"{tables:>7} " + " ".join(f"{c:<8.0f}" for c in cells))
+    print("(8 tables = 32 lookups = 1 round; 12 tables = 48 lookups = 2 rounds)")
+
+
+def multi_round_tolerance() -> None:
+    print("\nthroughput vs lookups per table (dlrm-rmc2, 8 tables, dim 32):")
+    base_model = dlrm_rmc2(num_tables=8, dim=32, lookups_per_table=1)
+    engine = MicroRecEngine.build(base_model)
+    base = engine.performance(lookup_rounds=1).throughput_items_per_s
+    print(f"{'lookups':>8} {'items/s':>12} {'relative':>9}")
+    for rounds in (1, 2, 4, 6, 8, 12, 16):
+        thr = engine.performance(lookup_rounds=rounds).throughput_items_per_s
+        print(f"{rounds:>8} {thr:>12,.0f} {thr / base:>9.2f}")
+
+
+def main() -> None:
+    table5_grid()
+    multi_round_tolerance()
+
+
+if __name__ == "__main__":
+    main()

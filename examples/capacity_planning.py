@@ -1,0 +1,72 @@
+"""Capacity planning: how the planner adapts to different FPGAs.
+
+Section 3.4.2: "this algorithm can be generalized to any FPGAs, no matter
+whether they are equipped with HBM, and no matter how many memory channels
+they have."  This example sweeps hardware configurations — HBM channel
+count, on-chip cache budget, AXI width — and shows how lookup latency and
+the planner's merging/caching decisions respond.  This is the study a team
+would run before choosing a board for a given model.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    AxiConfig,
+    MicroRecEngine,
+    production_small,
+    u280_memory_system,
+)
+from repro.memory.timing import MemoryTimingModel
+
+
+def plan_on(model, memory):
+    engine = MicroRecEngine.build(
+        model, memory=memory, timing=MemoryTimingModel(axi=memory.axi)
+    )
+    return engine.plan
+
+
+def main() -> None:
+    model = production_small()
+    print(f"model: {model.name} ({model.num_tables} tables)\n")
+
+    print("HBM channel sweep (DDR fixed at 2 channels):")
+    print(f"{'hbm_ch':>7} {'rounds':>7} {'merged':>7} {'onchip':>7} {'lookup_ns':>10}")
+    for channels in (0, 4, 8, 16, 32):
+        memory = u280_memory_system(hbm_channels=channels)
+        plan = plan_on(model, memory)
+        onchip = plan.placement.num_tables_after_merge - plan.placement.num_tables_in_dram
+        print(
+            f"{channels:>7} {plan.dram_access_rounds:>7} "
+            f"{len(plan.merge_groups):>7} {onchip:>7} "
+            f"{plan.lookup_latency_ns:>10.0f}"
+        )
+
+    print("\non-chip cache budget sweep (32 HBM channels):")
+    print(f"{'banks':>7} {'rounds':>7} {'onchip':>7} {'lookup_ns':>10}")
+    for banks in (0, 2, 4, 8, 16):
+        memory = u280_memory_system(onchip_banks=banks)
+        plan = plan_on(model, memory)
+        onchip = plan.placement.num_tables_after_merge - plan.placement.num_tables_in_dram
+        print(
+            f"{banks:>7} {plan.dram_access_rounds:>7} {onchip:>7} "
+            f"{plan.lookup_latency_ns:>10.0f}"
+        )
+
+    print("\nAXI width sweep (the appendix trade-off; wider = faster lookups")
+    print("but FIFO BRAM cost grows with width x 34 channels):")
+    print(f"{'width':>7} {'lookup_ns':>10} {'fifo_bram':>10} {'of_device':>10}")
+    for width in (32, 64, 128, 256, 512):
+        memory = u280_memory_system(axi=AxiConfig(data_width_bits=width))
+        plan = plan_on(model, memory)
+        fifo_bram = 12 * (width // 32) * memory.num_dram_channels
+        print(
+            f"{width:>7} {plan.lookup_latency_ns:>10.0f} {fifo_bram:>10} "
+            f"{fifo_bram / 2016:>10.0%}"
+        )
+
+
+if __name__ == "__main__":
+    main()

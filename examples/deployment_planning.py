@@ -1,0 +1,85 @@
+"""Deployment planning: fleets, co-location, and compressed tables.
+
+Three production questions, answered with the library's deployment and
+compression extensions on top of the paper's planner:
+
+1. how many U280 boards (vs CPU servers) does 1M queries/second need, and
+   at what cost;
+2. what happens to each model's lookup latency when two models share one
+   board's memory system;
+3. what int8 embedding compression buys in storage and lookup latency.
+
+Run:  python examples/deployment_planning.py
+"""
+
+from __future__ import annotations
+
+from repro import CpuCostModel, production_small
+from repro.core.compression import compressed_spec
+from repro.core.planner import plan_tables
+from repro.deploy import co_locate, plan_fleet
+from repro.experiments.common import accelerator
+from repro.memory.spec import u280_memory_system
+from repro.memory.timing import default_timing_model
+from repro.models.spec import dlrm_rmc2
+
+
+def fleets() -> None:
+    print("== fleet sizing for 1,000,000 queries/s (small model) ==")
+    perf = accelerator("small", "fixed16").performance()
+    cpu = CpuCostModel(production_small())
+    plans = plan_fleet(1_000_000, perf, cpu)
+    for name, fleet in plans.items():
+        print(
+            f"  {name:>4}: {fleet.nodes:3d} nodes, "
+            f"${fleet.usd_per_hour:6.2f}/h, "
+            f"${fleet.usd_per_million_queries:.4f}/1M queries, "
+            f"{fleet.latency_ms:8.3f} ms per query"
+        )
+
+
+def colocation() -> None:
+    print("\n== co-locating two models on one board ==")
+    memory = u280_memory_system()
+    timing = default_timing_model(memory.axi)
+    models = [production_small(), dlrm_rmc2(num_tables=8, dim=16, rows=100_000)]
+    solo = {
+        m.name: plan_tables(m.tables, memory, timing).lookup_latency_ns
+        for m in models
+    }
+    plan = co_locate(models, memory, timing)
+    print(f"  joint: {plan.joint.placement.num_tables_after_merge} tables, "
+          f"{plan.joint.dram_access_rounds} max rounds")
+    for m in models:
+        co = plan.model_lookup_latency_ns(m.name, timing)
+        print(
+            f"  {m.name}: solo {solo[m.name]:.0f} ns -> "
+            f"co-located {co:.0f} ns ({co / solo[m.name]:.2f}x)"
+        )
+
+
+def compression() -> None:
+    print("\n== int8 compressed tables (small model) ==")
+    memory = u280_memory_system()
+    timing = default_timing_model(memory.axi)
+    model = production_small()
+    for label, specs in (
+        ("fp32", list(model.tables)),
+        ("int8", [compressed_spec(t) for t in model.tables]),
+    ):
+        plan = plan_tables(specs, memory, timing)
+        print(
+            f"  {label}: {plan.placement.storage_bytes / 1e9:5.2f} GB, "
+            f"{plan.dram_access_rounds} round(s), "
+            f"{plan.lookup_latency_ns:.0f} ns lookup"
+        )
+
+
+def main() -> None:
+    fleets()
+    colocation()
+    compression()
+
+
+if __name__ == "__main__":
+    main()

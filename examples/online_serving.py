@@ -1,0 +1,67 @@
+"""Online serving under an SLA: batched CPU engine vs pipelined MicroRec.
+
+The paper's motivation in queueing form: recommendation queries arrive as
+a Poisson stream and must be answered within tens of milliseconds.  The
+CPU engine batches to reach throughput — paying batch assembly wait and
+batched execution — while MicroRec's deep pipeline serves items one by
+one.  This example sweeps the offered load and prints p50/p99 latency and
+each engine's SLA capacity, plus a queuing-DRAM sanity check of the
+engine's lookup stage.
+
+Run:  python examples/online_serving.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import CpuCostModel, production_small
+from repro.experiments.common import accelerator, plan
+from repro.experiments.queuing import simulated_lookup_ns
+from repro.serving import (
+    BatchedServerSim,
+    PipelineServerSim,
+    sla_capacity_sweep,
+)
+from repro.serving.sla import DEFAULT_SLA_MS
+
+
+def main() -> None:
+    model = production_small()
+    cpu = CpuCostModel(model)
+    perf = accelerator("small", "fixed16").performance()
+
+    batched = BatchedServerSim(
+        cpu.end_to_end_latency_ms, batch_size=256, batch_timeout_ms=5.0
+    )
+    pipelined = PipelineServerSim(perf.single_item_latency_us, perf.ii_ns)
+    rates = (1_000, 10_000, 30_000, 60_000, 120_000, 240_000, 280_000)
+    reports = sla_capacity_sweep(batched, pipelined, rates)
+
+    print(f"p99 SLA = {DEFAULT_SLA_MS:.0f} ms, model = {model.name}\n")
+    print(f"{'rate/s':>9} | {'CPU p50':>9} {'CPU p99':>9} | "
+          f"{'FPGA p50':>9} {'FPGA p99':>9}")
+    cpu_rows = {r["rate_per_s"]: r for r in reports["cpu"].rows()}
+    fpga_rows = {r["rate_per_s"]: r for r in reports["fpga"].rows()}
+    for rate in rates:
+        c, f = cpu_rows[rate], fpga_rows[rate]
+        print(
+            f"{rate:>9,} | {c['p50_ms']:>8.2f}m {c['p99_ms']:>8.2f}m | "
+            f"{f['p50_ms'] * 1e3:>7.0f}us {f['p99_ms'] * 1e3:>7.0f}us"
+        )
+    print(
+        f"\nSLA capacity: CPU {reports['cpu'].sla_capacity_per_s:,.0f}/s, "
+        f"MicroRec {reports['fpga'].sla_capacity_per_s:,.0f}/s"
+    )
+
+    # Sanity: the lookup stage latency under a queued DRAM model.
+    rng = np.random.default_rng(0)
+    p = plan("small", cartesian=True)
+    print(
+        f"\nlookup stage: analytical {p.lookup_latency_ns:.0f} ns, "
+        f"queued-DRAM simulation {simulated_lookup_ns(p, rng):.0f} ns"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+"""Production serving study: both Alibaba-scale models end to end.
+
+Reproduces the paper's headline story on the full (virtual-table) models:
+plans both production models with and without Cartesian products, compares
+against the CPU baseline across batch sizes, and reports FPGA resource
+usage and quantisation accuracy.
+
+Run:  python examples/production_serving.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    CpuCostModel,
+    FpgaConfig,
+    MicroRecEngine,
+    PlannerConfig,
+    QueryGenerator,
+    production_large,
+    production_small,
+)
+
+
+def study(model_factory) -> None:
+    model = model_factory()
+    print(f"\n=== {model.name}: {model.num_tables} tables, "
+          f"{model.total_embedding_bytes / 1e9:.1f} GB ===")
+
+    # -- Cartesian products on/off (Table 3 story) -------------------------
+    plain = MicroRecEngine.build(
+        model, planner_config=PlannerConfig(enable_cartesian=False)
+    ).plan
+    merged = MicroRecEngine.build(model).plan
+    print("Cartesian products:")
+    print(
+        f"  without: {plain.placement.num_tables_after_merge} tables, "
+        f"{plain.dram_access_rounds} DRAM rounds, "
+        f"{plain.lookup_latency_ns:.0f} ns lookup"
+    )
+    print(
+        f"  with:    {merged.placement.num_tables_after_merge} tables, "
+        f"{merged.dram_access_rounds} DRAM rounds, "
+        f"{merged.lookup_latency_ns:.0f} ns lookup "
+        f"({merged.lookup_latency_ns / plain.lookup_latency_ns:.0%} of plain, "
+        f"+{merged.placement.storage_overhead_fraction:.1%} storage)"
+    )
+
+    # -- CPU baseline vs FPGA (Table 2 story) ------------------------------
+    cpu = CpuCostModel(model)
+    print("CPU baseline (TensorFlow-Serving model):")
+    for batch in (1, 256, 2048):
+        print(
+            f"  B={batch:5d}: {cpu.end_to_end_latency_ms(batch):7.2f} ms/batch, "
+            f"{cpu.throughput_items_per_s(batch):10,.0f} items/s"
+        )
+    for precision in ("fixed16", "fixed32"):
+        engine = MicroRecEngine.build(
+            model, fpga_config=FpgaConfig(precision=precision)
+        )
+        perf = engine.performance()
+        speedup = (cpu.end_to_end_latency_ms(2048) / 2048) / (
+            perf.batch_latency_ms(2048) / 2048
+        )
+        res = engine.resources()
+        print(
+            f"MicroRec {precision}: {perf.single_item_latency_us:5.1f} us/item, "
+            f"{perf.throughput_items_per_s:10,.0f} items/s "
+            f"({speedup:.1f}x CPU B=2048), "
+            f"{res.frequency_mhz:.0f} MHz, "
+            f"BRAM {res.utilisation()['bram']:.0%}"
+        )
+
+    # -- quantisation accuracy on a materialisable copy --------------------
+    scaled = model.scaled(max_rows=2048)
+    queries = QueryGenerator(scaled, seed=0).batch(256)
+    fp32_ref = None
+    print("quantisation accuracy (row-capped copy, 256 queries):")
+    for precision in ("fixed32", "fixed16"):
+        engine = MicroRecEngine.build(
+            scaled, seed=0, fpga_config=FpgaConfig(precision=precision)
+        )
+        preds = engine.infer(queries)
+        if fp32_ref is None:
+            fp32_ref = engine.reference_engine().infer(queries)
+        err = np.abs(preds - fp32_ref).max()
+        print(f"  {precision}: max |CTR - fp32| = {err:.2e}")
+
+
+def main() -> None:
+    study(production_small)
+    study(production_large)
+
+
+if __name__ == "__main__":
+    main()

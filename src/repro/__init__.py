@@ -1,0 +1,94 @@
+"""MicroRec (MLSys 2021) reproduction.
+
+Efficient recommendation inference by hardware and data structure
+solutions: Cartesian-product embedding-table merging, a heuristic
+table-combination/allocation planner for hybrid HBM+DDR+on-chip memory,
+and analytical simulators of the FPGA accelerator and the CPU baseline.
+
+Quickstart::
+
+    from repro import MicroRecEngine, production_small
+
+    engine = MicroRecEngine.build(production_small().scaled(max_rows=4096))
+    print(engine.summary())
+"""
+
+from repro.core import (
+    CartesianTable,
+    MaterializedTable,
+    MergeGroup,
+    MicroRecEngine,
+    Placement,
+    PlacementError,
+    Plan,
+    PlannerConfig,
+    TableSpec,
+    VirtualTable,
+    brute_force_plan,
+    make_tables,
+    plan_tables,
+    product_spec,
+)
+from repro.cpu import CpuBaselineEngine, CpuCostModel, CpuCostParams, CpuServerSpec
+from repro.fpga import FpgaAcceleratorModel, FpgaConfig
+from repro.memory import (
+    AxiConfig,
+    BankKind,
+    MemorySystemSpec,
+    MemoryTimingModel,
+    default_timing_model,
+    u280_memory_system,
+)
+from repro.models import (
+    FIXED16,
+    FIXED32,
+    FixedPointFormat,
+    Mlp,
+    ModelSpec,
+    QueryBatch,
+    QueryGenerator,
+    dlrm_rmc2,
+    production_large,
+    production_small,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MicroRecEngine",
+    "TableSpec",
+    "MergeGroup",
+    "CartesianTable",
+    "MaterializedTable",
+    "VirtualTable",
+    "make_tables",
+    "product_spec",
+    "Plan",
+    "PlannerConfig",
+    "plan_tables",
+    "brute_force_plan",
+    "Placement",
+    "PlacementError",
+    "ModelSpec",
+    "production_small",
+    "production_large",
+    "dlrm_rmc2",
+    "Mlp",
+    "FixedPointFormat",
+    "FIXED16",
+    "FIXED32",
+    "QueryBatch",
+    "QueryGenerator",
+    "MemorySystemSpec",
+    "u280_memory_system",
+    "MemoryTimingModel",
+    "default_timing_model",
+    "AxiConfig",
+    "BankKind",
+    "CpuBaselineEngine",
+    "CpuCostModel",
+    "CpuCostParams",
+    "CpuServerSpec",
+    "FpgaAcceleratorModel",
+    "FpgaConfig",
+]

@@ -1,0 +1,16 @@
+"""Related-work baseline models (section 6 comparison, extension).
+
+Cost models for the alternative hardware approaches the paper positions
+against, so the repository can regenerate the *comparative* claims:
+
+* GPUs help only for compute-heavy models at very large batches (Gupta et
+  al. 2020a) — :mod:`repro.baselines.gpu`;
+* near-memory processing accelerates the lookups but leaves the framework
+  overhead and batching latency in place (Kwon et al. 2019, Ke et al.
+  2020) — :mod:`repro.baselines.nmp`.
+"""
+
+from repro.baselines.gpu import GpuCostModel, GpuSpec
+from repro.baselines.nmp import NmpCostModel, NmpSpec
+
+__all__ = ["GpuCostModel", "GpuSpec", "NmpCostModel", "NmpSpec"]

@@ -1,0 +1,96 @@
+"""GPU inference cost model (Gupta et al. 2020a observations).
+
+The paper cites DeepRecSys: "GPUs can only outperform CPUs when (a) the
+model is computation-intensive (less embedding lookups), and (b) very
+large batch sizes are used", and "GPUs suffer from high latency".  This
+model captures the three mechanisms behind those observations:
+
+* a large fixed per-batch cost — kernel launches plus host-to-device
+  transfer of the batch's features over PCIe;
+* a very high GEMM rate that only saturates at large batches;
+* embedding gathers served from HBM at high bandwidth but still paying
+  per-lookup latency, partially hidden by massive parallelism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.models.spec import ModelSpec
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """A V100-class inference GPU."""
+
+    name: str = "v100-class"
+    peak_fp32_gflops: float = 14_000.0
+    #: Achievable fraction of peak for batched MLP inference.
+    gemm_eff_max: float = 0.6
+    #: Batch at which GEMM efficiency reaches half its maximum.
+    gemm_eff_half: float = 2048.0
+    #: Base kernel-launch + scheduling cost per batch.
+    launch_ms: float = 1.0
+    #: Per-operator kernel-launch cost: the embedding layer's ~37 operator
+    #: types per table become many tiny kernels, the dominant reason GPUs
+    #: lose at small batches (Gupta et al. 2020a).
+    op_launch_us: float = 5.0
+    ops_per_table: int = 37
+    #: PCIe 3.0 x16 effective host-to-device bandwidth.
+    pcie_gb_s: float = 12.0
+    #: Effective per-item embedding gather cost at saturation: device HBM
+    #: random accesses, parallel but bounded by gather-kernel structure.
+    gather_ns_per_lookup: float = 60.0
+
+    def gemm_efficiency(self, batch: int) -> float:
+        return self.gemm_eff_max * batch / (batch + self.gemm_eff_half)
+
+
+@dataclass(frozen=True)
+class GpuCostModel:
+    """Batch latency/throughput of one model on a GPU server."""
+
+    model: ModelSpec
+    gpu: GpuSpec = field(default_factory=GpuSpec)
+
+    def transfer_ms(self, batch: int) -> float:
+        """Host-to-device transfer: sparse ids + dense features in, CTR out.
+
+        The embedding tables live in device HBM; only per-query features
+        cross PCIe."""
+        ids_bytes = self.model.lookups_per_inference * 8
+        dense_bytes = self.model.dense_dim * 4
+        total = batch * (ids_bytes + dense_bytes + 4)
+        return total / (self.gpu.pcie_gb_s * 1e9) * 1e3
+
+    def embedding_ms(self, batch: int) -> float:
+        lookups = batch * self.model.lookups_per_inference
+        return lookups * self.gpu.gather_ns_per_lookup / 1e6
+
+    def mlp_ms(self, batch: int) -> float:
+        flops = batch * self.model.ops_per_inference
+        rate = self.gpu.peak_fp32_gflops * 1e9 * self.gpu.gemm_efficiency(batch)
+        return flops / rate * 1e3
+
+    def op_overhead_ms(self) -> float:
+        """Per-batch kernel launches for the embedding operator graph."""
+        return (
+            self.gpu.ops_per_table
+            * self.model.num_tables
+            * self.gpu.op_launch_us
+            / 1e3
+        )
+
+    def end_to_end_latency_ms(self, batch: int) -> float:
+        if batch <= 0:
+            raise ValueError(f"batch must be positive, got {batch}")
+        return (
+            self.gpu.launch_ms
+            + self.op_overhead_ms()
+            + self.transfer_ms(batch)
+            + self.embedding_ms(batch)
+            + self.mlp_ms(batch)
+        )
+
+    def throughput_items_per_s(self, batch: int) -> float:
+        return batch / (self.end_to_end_latency_ms(batch) / 1e3)

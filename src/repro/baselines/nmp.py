@@ -1,0 +1,67 @@
+"""Near-memory-processing baseline (TensorDIMM / RecNMP class).
+
+Kwon et al. (2019) and Ke et al. (2020) attack the same bottleneck as
+MicroRec by redesigning DRAM: rank-level parallelism plus near-memory
+gather/reduce units accelerate the embedding layer by roughly the
+DIMM-level parallelism factor, with memory-side caching adding more for
+skewed traffic.  Crucially, everything *around* the lookups — the
+framework's operator overhead, the batched MLP, the batching latency —
+is untouched, which is why MicroRec still wins end to end and why the
+paper notes such DRAM "would take years to put in production".
+
+The model reuses the CPU cost structure with the per-lookup memory cost
+divided by an acceleration factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.cpu.costmodel import CpuCostModel, CpuCostParams
+from repro.models.spec import ModelSpec
+
+
+@dataclass(frozen=True)
+class NmpSpec:
+    """A near-memory-processing DIMM configuration."""
+
+    name: str = "recnmp-class"
+    #: Speedup of the raw random-access stream from rank-level parallelism
+    #: plus near-memory gather (TensorDIMM reports ~4x per DIMM group;
+    #: RecNMP adds memory-side caching).
+    lookup_speedup: float = 4.0
+    #: Fraction of the CPU's per-batch operator overhead that remains (the
+    #: NMP proposals offload the gather/reduce ops themselves).
+    op_overhead_fraction: float = 0.6
+
+    def __post_init__(self) -> None:
+        if self.lookup_speedup < 1.0:
+            raise ValueError("lookup_speedup must be >= 1")
+        if not 0 <= self.op_overhead_fraction <= 1:
+            raise ValueError("op_overhead_fraction must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class NmpCostModel:
+    """CPU server with NMP DIMMs: accelerated embedding, unchanged MLP."""
+
+    model: ModelSpec
+    nmp: NmpSpec = field(default_factory=NmpSpec)
+    cpu_params: CpuCostParams = field(default_factory=CpuCostParams)
+
+    def _adjusted(self) -> CpuCostModel:
+        params = replace(
+            self.cpu_params,
+            t_lookup_ns=self.cpu_params.t_lookup_ns / self.nmp.lookup_speedup,
+            t_op_us=self.cpu_params.t_op_us * self.nmp.op_overhead_fraction,
+        )
+        return CpuCostModel(self.model, params=params)
+
+    def embedding_latency_ms(self, batch: int) -> float:
+        return self._adjusted().embedding_latency_ms(batch)
+
+    def end_to_end_latency_ms(self, batch: int) -> float:
+        return self._adjusted().end_to_end_latency_ms(batch)
+
+    def throughput_items_per_s(self, batch: int) -> float:
+        return self._adjusted().throughput_items_per_s(batch)

@@ -1,0 +1,154 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro experiments [NAME ...]   # regenerate tables/figures
+    python -m repro plan MODEL [options]     # run Algorithm 1 on a model
+    python -m repro info                     # library / model overview
+
+``MODEL`` is ``small`` or ``large`` (the paper's production models).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments.harness import EXPERIMENTS
+    from repro.experiments.report import render_table
+
+    names = args.names or list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(
+            f"unknown experiment(s) {unknown}; available: {sorted(EXPERIMENTS)}",
+            file=sys.stderr,
+        )
+        return 2
+    for name in names:
+        print(render_table(EXPERIMENTS[name]()))
+        print()
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from repro.core.planner import PlannerConfig, plan_tables
+    from repro.experiments.common import MODELS
+    from repro.memory.spec import u280_memory_system
+    from repro.memory.timing import MemoryTimingModel
+
+    if args.model not in MODELS:
+        print(
+            f"unknown model {args.model!r}; available: {sorted(MODELS)}",
+            file=sys.stderr,
+        )
+        return 2
+    model = MODELS[args.model]()
+    memory = u280_memory_system(
+        hbm_channels=args.hbm_channels, onchip_banks=args.onchip_banks
+    )
+    timing = MemoryTimingModel(axi=memory.axi)
+    plan = plan_tables(
+        model.tables,
+        memory,
+        timing,
+        PlannerConfig(enable_cartesian=not args.no_cartesian),
+    )
+    print(f"model: {model.name} ({model.num_tables} tables, "
+          f"{model.total_embedding_bytes / 1e9:.2f} GB)")
+    for key, value in plan.summary().items():
+        print(f"  {key}: {value}")
+    if args.show_merges:
+        for group in plan.merge_groups:
+            spec = plan.placement.group_spec(group)
+            print(
+                f"  merge {group.member_ids}: {spec.rows} rows x dim "
+                f"{spec.dim} = {spec.nbytes / 2**20:.1f} MiB"
+            )
+    return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.cpu.costmodel import CpuCostModel
+    from repro.deploy.capacity import plan_fleet
+    from repro.experiments.common import MODELS, accelerator
+
+    if args.model not in MODELS:
+        print(
+            f"unknown model {args.model!r}; available: {sorted(MODELS)}",
+            file=sys.stderr,
+        )
+        return 2
+    perf = accelerator(args.model, args.precision).performance()
+    cpu = CpuCostModel(MODELS[args.model]())
+    fleets = plan_fleet(args.qps, perf, cpu, headroom=args.headroom)
+    print(f"fleet sizing for {args.qps:,.0f} queries/s ({args.model}, "
+          f"{args.precision}):")
+    for name, fleet in fleets.items():
+        print(
+            f"  {name:>4}: {fleet.nodes:4d} nodes  "
+            f"${fleet.usd_per_hour:8.2f}/h  "
+            f"${fleet.usd_per_million_queries:.4f}/1M  "
+            f"{fleet.latency_ms:9.3f} ms/query  "
+            f"{fleet.utilisation:.0%} utilised"
+        )
+    return 0
+
+
+def _cmd_info(_: argparse.Namespace) -> int:
+    import repro
+    from repro.experiments.common import MODELS
+    from repro.experiments.harness import EXPERIMENTS
+
+    print(f"repro {repro.__version__} — MicroRec (MLSys'21) reproduction")
+    print("\nproduction models:")
+    for name, factory in MODELS.items():
+        m = factory()
+        print(
+            f"  {name}: {m.num_tables} tables, feat {m.feature_len}, "
+            f"{m.total_embedding_bytes / 1e9:.2f} GB"
+        )
+    print(f"\nexperiments: {', '.join(EXPERIMENTS)}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_exp = sub.add_parser("experiments", help="regenerate paper tables/figures")
+    p_exp.add_argument("names", nargs="*", help="experiment names (default: all)")
+    p_exp.set_defaults(func=_cmd_experiments)
+
+    p_plan = sub.add_parser("plan", help="run Algorithm 1 on a model")
+    p_plan.add_argument("model", help="small | large")
+    p_plan.add_argument("--no-cartesian", action="store_true")
+    p_plan.add_argument("--hbm-channels", type=int, default=32)
+    p_plan.add_argument("--onchip-banks", type=int, default=8)
+    p_plan.add_argument("--show-merges", action="store_true")
+    p_plan.set_defaults(func=_cmd_plan)
+
+    p_fleet = sub.add_parser("fleet", help="size FPGA/CPU fleets for a load")
+    p_fleet.add_argument("model", help="small | large")
+    p_fleet.add_argument("qps", type=float, help="target queries per second")
+    p_fleet.add_argument("--precision", default="fixed16")
+    p_fleet.add_argument("--headroom", type=float, default=0.7)
+    p_fleet.set_defaults(func=_cmd_fleet)
+
+    p_info = sub.add_parser("info", help="library overview")
+    p_info.set_defaults(func=_cmd_info)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

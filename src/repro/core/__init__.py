@@ -1,0 +1,59 @@
+"""MicroRec core: tables, Cartesian products, planner, engine."""
+
+from repro.core.tables import (
+    EmbeddingTable,
+    MaterializedTable,
+    TableSpec,
+    VirtualTable,
+    make_tables,
+)
+from repro.core.cartesian import (
+    CartesianTable,
+    MergeGroup,
+    build_cartesian_tables,
+    product_spec,
+    storage_overhead_bytes,
+)
+from repro.core.allocation import (
+    Placement,
+    PlacementError,
+    allocate_to_banks,
+)
+from repro.core.planner import Plan, PlannerConfig, pair_candidates, plan_tables
+from repro.core.bruteforce import brute_force_plan, set_partitions
+from repro.core.engine import MicroRecEngine
+from repro.core.refine import refine_placement
+from repro.core.sharding import (
+    ShardedTable,
+    ShardInfo,
+    ShardMap,
+    shard_oversized,
+)
+
+__all__ = [
+    "TableSpec",
+    "EmbeddingTable",
+    "MaterializedTable",
+    "VirtualTable",
+    "make_tables",
+    "MergeGroup",
+    "CartesianTable",
+    "product_spec",
+    "storage_overhead_bytes",
+    "build_cartesian_tables",
+    "Placement",
+    "PlacementError",
+    "allocate_to_banks",
+    "Plan",
+    "PlannerConfig",
+    "plan_tables",
+    "pair_candidates",
+    "brute_force_plan",
+    "set_partitions",
+    "MicroRecEngine",
+    "refine_placement",
+    "ShardedTable",
+    "ShardInfo",
+    "ShardMap",
+    "shard_oversized",
+]

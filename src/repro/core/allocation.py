@@ -1,0 +1,300 @@
+"""Table-to-bank allocation and placement evaluation.
+
+A :class:`Placement` is the planner's output: a partition of the model's
+embedding tables into :class:`~repro.core.cartesian.MergeGroup`s (merged or
+singleton) and an assignment of every group to one memory bank.  This module
+evaluates placements — per-inference lookup latency, DRAM access rounds,
+storage overhead — and provides the greedy allocator that implements the
+paper's heuristic rule 4 (cache the smallest tables on chip, subject to
+capacity and to on-chip lookups not becoming the bottleneck).
+
+Latency semantics: banks are accessed concurrently, accesses to the same
+bank serialise, and one inference reads one vector per group per lookup
+round.  The per-inference embedding latency is therefore the maximum over
+banks of the bank's serial read time — the quantity Algorithm 1 minimises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.core.cartesian import MergeGroup, product_spec
+from repro.core.tables import TableSpec
+from repro.memory.banks import MemorySystemState
+from repro.memory.spec import BankKind, MemorySystemSpec
+from repro.memory.timing import MemoryTimingModel
+
+
+class PlacementError(ValueError):
+    """Raised when a set of groups cannot be placed in a memory system."""
+
+
+@dataclass
+class Placement:
+    """A full assignment of merge groups to memory banks."""
+
+    memory: MemorySystemSpec
+    specs: Mapping[int, TableSpec]
+    groups: tuple[MergeGroup, ...]
+    bank_of: dict[MergeGroup, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        covered: list[int] = [tid for g in self.groups for tid in g.member_ids]
+        if sorted(covered) != sorted(self.specs):
+            raise PlacementError(
+                "groups must partition the table set exactly once: "
+                f"covered={sorted(covered)}, specs={sorted(self.specs)}"
+            )
+        missing = [g for g in self.groups if g not in self.bank_of]
+        if missing:
+            raise PlacementError(f"groups without a bank: {missing}")
+        self._spec_cache: dict[MergeGroup, TableSpec] = {}
+
+    # -- derived specs ----------------------------------------------------
+
+    def group_spec(self, group: MergeGroup) -> TableSpec:
+        spec = self._spec_cache.get(group)
+        if spec is None:
+            spec = self._spec_cache[group] = product_spec(group, self.specs)
+        return spec
+
+    def groups_in(self, *kinds: BankKind) -> list[MergeGroup]:
+        return [
+            g
+            for g in self.groups
+            if self.memory.bank(self.bank_of[g]).kind in kinds
+        ]
+
+    @property
+    def merged_groups(self) -> list[MergeGroup]:
+        return [g for g in self.groups if g.is_merged]
+
+    @property
+    def num_tables_after_merge(self) -> int:
+        """Number of physical tables stored (paper Table 3, "Table Num")."""
+        return len(self.groups)
+
+    @property
+    def num_tables_in_dram(self) -> int:
+        return len(self.groups_in(BankKind.HBM, BankKind.DDR))
+
+    # -- storage ----------------------------------------------------------
+
+    @property
+    def base_storage_bytes(self) -> int:
+        """Storage of the original, unmerged tables."""
+        return sum(s.nbytes for s in self.specs.values())
+
+    @property
+    def storage_bytes(self) -> int:
+        """Storage actually placed (products included)."""
+        return sum(self.group_spec(g).nbytes for g in self.groups)
+
+    @property
+    def storage_overhead_fraction(self) -> float:
+        """Extra storage relative to the unmerged model (Table 3)."""
+        return self.storage_bytes / self.base_storage_bytes - 1.0
+
+    # -- timing -----------------------------------------------------------
+
+    def to_state(self) -> MemorySystemState:
+        """Materialise the occupancy state implied by this placement."""
+        state = MemorySystemState(self.memory)
+        for group, bank_id in self.bank_of.items():
+            try:
+                state.place(bank_id, group, self.group_spec(group).nbytes)
+            except ValueError as exc:
+                raise PlacementError(str(exc)) from exc
+        return state
+
+    def validate(self) -> None:
+        """Raise :class:`PlacementError` if any bank is over capacity."""
+        self.to_state()
+
+    def bank_serial_ns(
+        self,
+        bank_id: int,
+        timing: MemoryTimingModel,
+        lookup_rounds: int = 1,
+    ) -> float:
+        """Serial time for one bank to serve its groups' lookups."""
+        kind = self.memory.bank(bank_id).kind
+        total = 0.0
+        for group, bid in self.bank_of.items():
+            if bid != bank_id:
+                continue
+            spec = self.group_spec(group)
+            accesses = spec.lookups_per_inference * lookup_rounds
+            total += accesses * timing.access_ns(kind, spec.vector_bytes)
+        return total
+
+    def lookup_latency_ns(
+        self, timing: MemoryTimingModel, lookup_rounds: int = 1
+    ) -> float:
+        """Per-inference embedding lookup latency (max over banks).
+
+        ``lookup_rounds`` scales every table's lookup count, modelling the
+        multi-round DNN architectures of Figure 7.
+        """
+        used_banks = set(self.bank_of.values())
+        return max(
+            (self.bank_serial_ns(b, timing, lookup_rounds) for b in used_banks),
+            default=0.0,
+        )
+
+    def dram_access_rounds(self, lookup_rounds: int = 1) -> int:
+        """Accesses the busiest DRAM channel serialises (Table 3 rounds)."""
+        per_bank: dict[int, int] = {}
+        for group, bank_id in self.bank_of.items():
+            if not self.memory.bank(bank_id).kind.is_dram:
+                continue
+            spec = self.group_spec(group)
+            per_bank[bank_id] = (
+                per_bank.get(bank_id, 0)
+                + spec.lookups_per_inference * lookup_rounds
+            )
+        return max(per_bank.values(), default=0)
+
+    def summary(self) -> dict[str, object]:
+        return {
+            "tables": self.num_tables_after_merge,
+            "tables_in_dram": self.num_tables_in_dram,
+            "merged_groups": len(self.merged_groups),
+            "dram_rounds": self.dram_access_rounds(),
+            "storage_bytes": self.storage_bytes,
+            "storage_overhead": self.storage_overhead_fraction,
+        }
+
+
+def allocate_to_banks(
+    groups: Sequence[MergeGroup],
+    specs: Mapping[int, TableSpec],
+    memory: MemorySystemSpec,
+    timing: MemoryTimingModel,
+) -> Placement:
+    """Assign groups to banks: heuristic rule 4 + least-loaded DRAM packing.
+
+    Rule 4 caches the smallest tables on chip.  The number cached is not
+    fixed a priori: we sweep the count ``k`` of smallest groups placed
+    on-chip, allocate the remainder to DRAM channels greedily
+    (longest-processing-time onto the currently least-loaded channel with
+    capacity), and keep the ``k`` with the lowest overall lookup latency.
+    This satisfies both of the paper's constraints by construction — a
+    ``k`` whose co-located on-chip lookups exceed the off-chip bottleneck
+    simply loses the sweep.
+
+    Raises :class:`PlacementError` if even ``k = 0`` cannot be placed (some
+    group exceeds every DRAM bank's remaining capacity).
+    """
+    # Every per-group quantity is computed exactly once up front; the k-sweep
+    # below only shuffles precomputed numbers, keeping the allocator O(N)
+    # per candidate count and the whole planner at the paper's O(N^2).
+    gspec = {g: product_spec(g, specs) for g in groups}
+    cost = {
+        g: s.lookups_per_inference * timing.dram_access_ns(s.vector_bytes)
+        for g, s in gspec.items()
+    }
+    onchip_cost = {
+        g: s.lookups_per_inference
+        * timing.access_ns(BankKind.ONCHIP, s.vector_bytes)
+        for g, s in gspec.items()
+    }
+    sorted_groups = sorted(
+        groups, key=lambda g: (gspec[g].nbytes, g.member_ids)
+    )
+    by_cost_desc = sorted(
+        groups, key=lambda g: (-cost[g], g.member_ids)
+    )
+
+    best_bank_of: dict[MergeGroup, int] | None = None
+    best_score: tuple[float, float] | None = None
+    onchip_banks = memory.onchip_banks
+    # The sweep over the on-chip table count k stops as soon as the k
+    # smallest groups no longer fit the *total* on-chip capacity — a valid
+    # upper bound (first-fit can only fail earlier).
+    onchip_capacity = sum(b.capacity_bytes for b in onchip_banks)
+    max_k, prefix = 0, 0
+    for group in sorted_groups:
+        prefix += gspec[group].nbytes
+        if prefix > onchip_capacity:
+            break
+        max_k += 1
+
+    for k in range(max_k + 1):
+        onchip_part = sorted_groups[:k]
+        onchip_set = set(onchip_part)
+        bank_of: dict[MergeGroup, int] = {}
+
+        # --- on-chip: first-fit into the least-occupied on-chip bank.
+        onchip_load = {b.bank_id: 0 for b in onchip_banks}
+        onchip_free = {b.bank_id: b.capacity_bytes for b in onchip_banks}
+        onchip_busy = {b.bank_id: 0.0 for b in onchip_banks}
+        feasible = True
+        for group in onchip_part:
+            nbytes = gspec[group].nbytes
+            candidates = [
+                bid for bid in onchip_free if onchip_free[bid] >= nbytes
+            ]
+            if not candidates:
+                feasible = False
+                break
+            bid = min(candidates, key=lambda b: (onchip_load[b], b))
+            bank_of[group] = bid
+            onchip_free[bid] -= nbytes
+            onchip_load[bid] += 1
+            onchip_busy[bid] += onchip_cost[group]
+        if not feasible:
+            break  # larger k only adds bigger tables; stop the sweep
+
+        # --- DRAM: LPT greedy onto least-loaded channel with capacity.
+        dram_banks = memory.dram_banks
+        if len(onchip_set) < len(sorted_groups) and not dram_banks:
+            continue
+        dram_free = {b.bank_id: b.capacity_bytes for b in dram_banks}
+        dram_busy = {b.bank_id: 0.0 for b in dram_banks}
+        ok = True
+        # Most expensive groups first (LPT balance), pre-sorted once.
+        for group in by_cost_desc:
+            if group in onchip_set:
+                continue
+            spec = gspec[group]
+            candidates = [
+                bid for bid in dram_free if dram_free[bid] >= spec.nbytes
+            ]
+            if not candidates:
+                ok = False
+                break
+            bid = min(candidates, key=lambda b: (dram_busy[b], b))
+            bank_of[group] = bid
+            dram_free[bid] -= spec.nbytes
+            dram_busy[bid] += cost[group]
+        if not ok:
+            if k == 0:
+                raise PlacementError(
+                    "allocation failed: a group exceeds every DRAM bank's "
+                    "capacity even with nothing cached on-chip"
+                )
+            continue
+
+        # Latency = slowest bank; storage is k-independent, so ties are
+        # broken towards lower aggregate DRAM busy time, i.e. towards
+        # caching more tables on chip.
+        latency = max(
+            max(dram_busy.values(), default=0.0),
+            max(onchip_busy.values(), default=0.0),
+        )
+        score = (latency, sum(dram_busy.values()))
+        if best_score is None or score < best_score:
+            best_bank_of, best_score = bank_of, score
+
+    if best_bank_of is None:
+        raise PlacementError("no feasible allocation found")
+    placement = Placement(
+        memory=memory,
+        specs=dict(specs),
+        groups=tuple(sorted_groups),
+        bank_of=best_bank_of,
+    )
+    placement._spec_cache.update(gspec)
+    return placement

@@ -1,0 +1,156 @@
+"""Row-sharding of oversized embedding tables (extension beyond the paper).
+
+The paper's models fit their banks (the biggest tables go to the 16 GB DDR
+channels), but nothing guarantees that in general: a single table can
+exceed every bank.  This module splits a table's rows into contiguous
+shards that are placed independently; one lookup touches exactly one shard
+(``shard = index // rows_per_shard``), so sharding trades capacity
+feasibility for at most one extra resident per channel.
+
+Functionally, :class:`ShardedTable` routes each index to its shard and is
+byte-identical to the unsharded table.  At the spec level,
+:func:`shard_oversized` rewrites a model's table list, returning the new
+specs plus a :class:`ShardMap` to translate between original and shard
+ids.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.tables import EmbeddingTable, TableSpec
+
+
+@dataclass(frozen=True)
+class ShardInfo:
+    """One shard of an original table."""
+
+    shard_spec: TableSpec
+    original_id: int
+    row_offset: int
+
+
+@dataclass(frozen=True)
+class ShardMap:
+    """Bookkeeping from original table ids to their shards."""
+
+    shards_of: Mapping[int, tuple[ShardInfo, ...]]
+
+    def shard_for_row(self, original_id: int, row: int) -> ShardInfo:
+        shards = self.shards_of[original_id]
+        for info in shards:
+            if info.row_offset <= row < info.row_offset + info.shard_spec.rows:
+                return info
+        raise IndexError(
+            f"row {row} out of range for sharded table {original_id}"
+        )
+
+    @property
+    def sharded_ids(self) -> list[int]:
+        return [tid for tid, shards in self.shards_of.items() if len(shards) > 1]
+
+
+def shard_spec(
+    spec: TableSpec, max_bytes: int, next_id: int
+) -> tuple[ShardInfo, ...]:
+    """Split one table into contiguous row shards of at most ``max_bytes``."""
+    if max_bytes <= 0:
+        raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+    row_bytes = spec.dim * spec.dtype_bytes
+    if row_bytes > max_bytes:
+        raise ValueError(
+            f"table {spec.table_id}: a single row ({row_bytes} B) exceeds "
+            f"max_bytes ({max_bytes})"
+        )
+    if spec.nbytes <= max_bytes:
+        return (ShardInfo(shard_spec=spec, original_id=spec.table_id, row_offset=0),)
+    # Rows per shard from the byte budget (never exceeds max_bytes);
+    # ceil-dividing the row count by a shard count can overshoot it.
+    rows_per_shard = max_bytes // row_bytes
+    shards = []
+    offset = 0
+    sid = next_id
+    while offset < spec.rows:
+        rows = min(rows_per_shard, spec.rows - offset)
+        shards.append(
+            ShardInfo(
+                shard_spec=TableSpec(
+                    table_id=sid,
+                    rows=rows,
+                    dim=spec.dim,
+                    dtype_bytes=spec.dtype_bytes,
+                    lookups_per_inference=spec.lookups_per_inference,
+                ),
+                original_id=spec.table_id,
+                row_offset=offset,
+            )
+        )
+        offset += rows
+        sid += 1
+    return tuple(shards)
+
+
+def shard_oversized(
+    specs: Sequence[TableSpec], max_bytes: int
+) -> tuple[list[TableSpec], ShardMap]:
+    """Rewrite a table list so no table exceeds ``max_bytes``.
+
+    Unsharded tables keep their ids; shards get fresh ids above the
+    existing maximum.
+    """
+    next_id = max(s.table_id for s in specs) + 1
+    out: list[TableSpec] = []
+    shards_of: dict[int, tuple[ShardInfo, ...]] = {}
+    for spec in specs:
+        infos = shard_spec(spec, max_bytes, next_id)
+        if len(infos) > 1:
+            next_id += len(infos)
+        shards_of[spec.table_id] = infos
+        out.extend(info.shard_spec for info in infos)
+    return out, ShardMap(shards_of=shards_of)
+
+
+class ShardedTable:
+    """Functional view reuniting a table's shards.
+
+    Implements the standard table protocol over the *original* index
+    space; each lookup is routed to the owning shard.
+    """
+
+    def __init__(
+        self,
+        original: TableSpec,
+        shards: Sequence[ShardInfo],
+        tables: Mapping[int, EmbeddingTable],
+    ):
+        if not shards:
+            raise ValueError("ShardedTable needs at least one shard")
+        covered = sum(info.shard_spec.rows for info in shards)
+        if covered != original.rows:
+            raise ValueError(
+                f"shards cover {covered} rows, original has {original.rows}"
+            )
+        self.spec = original
+        self.shards = sorted(shards, key=lambda s: s.row_offset)
+        self.tables = [tables[s.shard_spec.table_id] for s in self.shards]
+        self._offsets = np.array(
+            [s.row_offset for s in self.shards], dtype=np.int64
+        )
+
+    def lookup(self, indices: np.ndarray) -> np.ndarray:
+        idx = np.asarray(indices, dtype=np.int64)
+        if idx.size and (idx.min() < 0 or idx.max() >= self.spec.rows):
+            raise IndexError(
+                f"index out of range [0, {self.spec.rows}) for sharded table"
+            )
+        out = np.empty((idx.size, self.spec.dim), dtype=np.float32)
+        owner = np.searchsorted(self._offsets, idx, side="right") - 1
+        for s, table in enumerate(self.tables):
+            mask = owner == s
+            if mask.any():
+                out[mask] = table.lookup(idx[mask] - self._offsets[s])
+        return out

@@ -1,0 +1,197 @@
+"""Embedding tables: specs, materialised storage, and virtual storage.
+
+Two executable representations back every :class:`TableSpec`:
+
+* :class:`MaterializedTable` — a real ``numpy`` array, used for model-scale
+  tests and the functional inference path;
+* :class:`VirtualTable` — a storage-free table whose rows are derived
+  deterministically from ``(seed, table_id, row, column)`` by an integer
+  hash.  This lets the library operate *functionally* on industrial-scale
+  specs (the paper's large model is 15.1 GB; its biggest tables have tens of
+  millions of rows) without allocating them: any row can be generated on
+  demand and two independent derivations of the same row agree bit-for-bit,
+  which is exactly what the Cartesian-product equivalence tests need.
+
+Both expose the same ``lookup`` interface and are interchangeable throughout
+the library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+#: Element width used by the paper's storage accounting (32-bit floats).
+DEFAULT_DTYPE_BYTES = 4
+
+
+@dataclass(frozen=True)
+class TableSpec:
+    """Static description of one embedding table."""
+
+    table_id: int
+    rows: int
+    dim: int
+    dtype_bytes: int = DEFAULT_DTYPE_BYTES
+    lookups_per_inference: int = 1
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0:
+            raise ValueError(
+                f"table {self.table_id}: rows must be positive, got {self.rows}"
+            )
+        if self.dim <= 0:
+            raise ValueError(
+                f"table {self.table_id}: dim must be positive, got {self.dim}"
+            )
+        if self.dtype_bytes <= 0:
+            raise ValueError(
+                f"table {self.table_id}: dtype_bytes must be positive, "
+                f"got {self.dtype_bytes}"
+            )
+        if self.lookups_per_inference <= 0:
+            raise ValueError(
+                f"table {self.table_id}: lookups_per_inference must be "
+                f"positive, got {self.lookups_per_inference}"
+            )
+
+    @property
+    def nbytes(self) -> int:
+        """Storage footprint of the full table."""
+        return self.rows * self.dim * self.dtype_bytes
+
+    @property
+    def vector_bytes(self) -> int:
+        """Payload of a single embedding vector."""
+        return self.dim * self.dtype_bytes
+
+    @property
+    def size_key(self) -> tuple[int, int]:
+        """Sort key ordering tables smallest-first, ties by id.
+
+        The planner's heuristic rules are all phrased in terms of this
+        smallest-to-largest order.
+        """
+        return (self.nbytes, self.table_id)
+
+    def __repr__(self) -> str:
+        return (
+            f"TableSpec(id={self.table_id}, rows={self.rows}, dim={self.dim}, "
+            f"bytes={self.nbytes})"
+        )
+
+
+@runtime_checkable
+class EmbeddingTable(Protocol):
+    """Anything that can be looked up like an embedding table."""
+
+    spec: TableSpec
+
+    def lookup(self, indices: np.ndarray) -> np.ndarray:
+        """Gather rows; returns float32 of shape ``(len(indices), dim)``."""
+        ...
+
+
+def _check_indices(indices: np.ndarray, rows: int, table_id: int) -> np.ndarray:
+    indices = np.asarray(indices)
+    if indices.ndim != 1:
+        raise ValueError(f"indices must be 1-D, got shape {indices.shape}")
+    if indices.size and (indices.min() < 0 or indices.max() >= rows):
+        raise IndexError(
+            f"table {table_id}: index out of range [0, {rows}) "
+            f"(got min={indices.min()}, max={indices.max()})"
+        )
+    return indices.astype(np.int64, copy=False)
+
+
+class MaterializedTable:
+    """An embedding table backed by an in-memory ``numpy`` array."""
+
+    def __init__(self, spec: TableSpec, values: np.ndarray):
+        values = np.asarray(values, dtype=np.float32)
+        if values.shape != (spec.rows, spec.dim):
+            raise ValueError(
+                f"table {spec.table_id}: values shape {values.shape} does not "
+                f"match spec ({spec.rows}, {spec.dim})"
+            )
+        self.spec = spec
+        self.values = values
+
+    def lookup(self, indices: np.ndarray) -> np.ndarray:
+        indices = _check_indices(indices, self.spec.rows, self.spec.table_id)
+        return self.values[indices]
+
+
+def _splitmix64(x: np.ndarray) -> np.ndarray:
+    """Vectorised splitmix64 finaliser: uint64 -> well-mixed uint64."""
+    x = x.astype(np.uint64, copy=True)
+    with np.errstate(over="ignore"):
+        x += np.uint64(0x9E3779B97F4A7C15)
+        z = x
+        z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+        z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+        z = z ^ (z >> np.uint64(31))
+    return z
+
+
+class VirtualTable:
+    """A deterministic, storage-free embedding table.
+
+    ``values[r, c]`` is a pure function of ``(seed, table_id, r, c)`` mapped
+    to a float32 uniform in ``[-1, 1)``.  Rows are generated on demand, so a
+    spec with hundreds of millions of rows costs nothing until looked up.
+    """
+
+    def __init__(self, spec: TableSpec, seed: int = 0):
+        self.spec = spec
+        self.seed = seed
+        # Fold seed and table id into one 64-bit stream selector.
+        self._stream = np.uint64(
+            (np.uint64(seed) << np.uint64(32))
+            ^ _splitmix64(np.asarray([spec.table_id], dtype=np.uint64))[0]
+        )
+
+    def lookup(self, indices: np.ndarray) -> np.ndarray:
+        indices = _check_indices(indices, self.spec.rows, self.spec.table_id)
+        dim = self.spec.dim
+        # One hash input per (row, col) cell: row * dim + col, offset by the
+        # per-table stream so distinct tables decorrelate.
+        cells = (
+            indices[:, None].astype(np.uint64) * np.uint64(dim)
+            + np.arange(dim, dtype=np.uint64)[None, :]
+        )
+        with np.errstate(over="ignore"):
+            hashed = _splitmix64(cells + self._stream)
+        # Top 24 bits -> uniform float32 in [0, 1) -> [-1, 1).
+        frac = (hashed >> np.uint64(40)).astype(np.float32) / np.float32(2**24)
+        return (frac * np.float32(2.0) - np.float32(1.0)).astype(np.float32)
+
+    def materialize(self) -> MaterializedTable:
+        """Realise the full table as an array (small specs only)."""
+        all_rows = np.arange(self.spec.rows, dtype=np.int64)
+        return MaterializedTable(self.spec, self.lookup(all_rows))
+
+
+def make_tables(
+    specs: Sequence[TableSpec],
+    seed: int = 0,
+    materialize_below_bytes: int = 0,
+) -> dict[int, EmbeddingTable]:
+    """Instantiate one table per spec, keyed by ``table_id``.
+
+    Tables smaller than ``materialize_below_bytes`` are materialised from
+    their virtual definition (so materialised and virtual views of the same
+    spec hold identical values); larger tables stay virtual.
+    """
+    out: dict[int, EmbeddingTable] = {}
+    for spec in specs:
+        if spec.table_id in out:
+            raise ValueError(f"duplicate table_id {spec.table_id}")
+        virtual = VirtualTable(spec, seed=seed)
+        if spec.nbytes < materialize_below_bytes:
+            out[spec.table_id] = virtual.materialize()
+        else:
+            out[spec.table_id] = virtual
+    return out

@@ -1,0 +1,88 @@
+"""Fleet capacity planning: boards (or CPU servers) for a target load.
+
+Engines replicate trivially — each board holds a full model copy (the
+paper's models fit one U280's 40 GB of DRAM) and serves an independent
+query stream, so fleet throughput scales linearly while per-query latency
+stays the single-board number.  The planner sizes both an FPGA fleet and a
+CPU fleet for a target queries-per-second with headroom, and prices them
+with the appendix's AWS rates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.cpu.costmodel import CpuCostModel
+from repro.fpga.accelerator import FpgaPerformance
+
+
+@dataclass(frozen=True)
+class FleetPlan:
+    """Sizing and cost of one engine fleet for a target load."""
+
+    engine: str
+    target_qps: float
+    per_node_qps: float
+    nodes: int
+    node_usd_per_hour: float
+    latency_ms: float  # per-query serving latency on one node
+
+    @property
+    def fleet_qps(self) -> float:
+        return self.nodes * self.per_node_qps
+
+    @property
+    def usd_per_hour(self) -> float:
+        return self.nodes * self.node_usd_per_hour
+
+    @property
+    def usd_per_million_queries(self) -> float:
+        return self.usd_per_hour / 3600.0 / self.target_qps * 1e6
+
+    @property
+    def utilisation(self) -> float:
+        return self.target_qps / self.fleet_qps
+
+
+def plan_fleet(
+    target_qps: float,
+    fpga_perf: FpgaPerformance,
+    cpu_model: CpuCostModel,
+    cpu_batch: int = 2048,
+    headroom: float = 0.7,
+    fpga_usd_per_hour: float = 1.65,
+    cpu_usd_per_hour: float = 1.82,
+) -> dict[str, FleetPlan]:
+    """Size FPGA and CPU fleets for ``target_qps``.
+
+    ``headroom`` caps per-node utilisation (serving fleets never run at
+    100%); node counts are the minimum satisfying it.
+    """
+    if target_qps <= 0:
+        raise ValueError(f"target_qps must be positive, got {target_qps}")
+    if not 0 < headroom <= 1:
+        raise ValueError(f"headroom must be in (0, 1], got {headroom}")
+
+    fpga_node_qps = fpga_perf.throughput_items_per_s * headroom
+    fpga_nodes = max(1, math.ceil(target_qps / fpga_node_qps))
+    fpga = FleetPlan(
+        engine="fpga",
+        target_qps=target_qps,
+        per_node_qps=fpga_node_qps,
+        nodes=fpga_nodes,
+        node_usd_per_hour=fpga_usd_per_hour,
+        latency_ms=fpga_perf.single_item_latency_us / 1e3,
+    )
+
+    cpu_node_qps = cpu_model.throughput_items_per_s(cpu_batch) * headroom
+    cpu_nodes = max(1, math.ceil(target_qps / cpu_node_qps))
+    cpu = FleetPlan(
+        engine="cpu",
+        target_qps=target_qps,
+        per_node_qps=cpu_node_qps,
+        nodes=cpu_nodes,
+        node_usd_per_hour=cpu_usd_per_hour,
+        latency_ms=cpu_model.end_to_end_latency_ms(cpu_batch),
+    )
+    return {"fpga": fpga, "cpu": cpu}

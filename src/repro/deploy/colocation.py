@@ -1,0 +1,141 @@
+"""Multi-model co-location on one board's hybrid memory system.
+
+Serving stacks typically host several ranking models (per surface, per
+market).  Their embedding tables can share the U280's memory if capacity
+allows: this module renumbers each model's tables into a disjoint id
+space, runs Algorithm 1 on the union, and evaluates what sharing does to
+each model's *own* lookup latency — an inference for model A only touches
+A's tables, but co-resident tables from model B lengthen A's channels'
+serial time only when they share a channel, which the planner avoids when
+it can.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.core.allocation import Placement
+from repro.core.planner import Plan, PlannerConfig, plan_tables
+from repro.core.tables import TableSpec
+from repro.memory.spec import MemorySystemSpec
+from repro.memory.timing import MemoryTimingModel, default_timing_model
+from repro.models.spec import ModelSpec
+
+#: Table-id stride separating co-located models' id spaces.
+ID_STRIDE = 1_000_000
+
+
+@dataclass(frozen=True)
+class CoLocationPlan:
+    """Joint placement of several models plus per-model views."""
+
+    joint: Plan
+    models: tuple[ModelSpec, ...]
+    id_offset: Mapping[str, int]
+
+    def model_table_ids(self, model_name: str) -> set[int]:
+        offset = self.id_offset[model_name]
+        model = next(m for m in self.models if m.name == model_name)
+        return {offset + t.table_id for t in model.tables}
+
+    def per_model_placement(self, model_name: str) -> Placement:
+        """The joint placement restricted to one model's groups.
+
+        Merged groups never span models by construction (merging is
+        decided per model before the joint allocation), so the restriction
+        is a valid placement over that model's renamed table set.
+        """
+        ids = self.model_table_ids(model_name)
+        joint_p = self.joint.placement
+        groups = tuple(
+            g for g in joint_p.groups if set(g.member_ids) & ids
+        )
+        for g in groups:
+            if not set(g.member_ids) <= ids:
+                raise AssertionError(
+                    f"group {g.member_ids} spans models; cannot restrict"
+                )
+        specs = {
+            tid: joint_p.specs[tid]
+            for g in groups
+            for tid in g.member_ids
+        }
+        return Placement(
+            memory=joint_p.memory,
+            specs=specs,
+            groups=groups,
+            bank_of={g: joint_p.bank_of[g] for g in groups},
+        )
+
+    def model_lookup_latency_ns(
+        self, model_name: str, timing: MemoryTimingModel
+    ) -> float:
+        """Lookup latency for one model's inferences under co-location.
+
+        Only that model's tables are read per inference, so the latency is
+        evaluated on the restricted placement (co-residents from other
+        models occupy capacity but are not accessed).
+        """
+        return self.per_model_placement(model_name).lookup_latency_ns(timing)
+
+
+def co_locate(
+    models: Sequence[ModelSpec],
+    memory: MemorySystemSpec,
+    timing: MemoryTimingModel | None = None,
+    config: PlannerConfig | None = None,
+) -> CoLocationPlan:
+    """Plan several models jointly onto one memory system.
+
+    Two phases: (1) Cartesian merging is decided *per model* with the
+    paper's Algorithm 1 (a product must be addressable by one model's
+    indices, so cross-model merges are meaningless); (2) all resulting
+    groups are allocated *jointly* to the shared banks with heuristic
+    rule 4, so the channel-balancing decision sees every model.
+    """
+    if not models:
+        raise ValueError("co_locate needs at least one model")
+    names = [m.name for m in models]
+    if len(set(names)) != len(names):
+        raise ValueError(f"model names must be unique, got {names}")
+    if timing is None:
+        timing = default_timing_model(memory.axi)
+
+    from repro.core.allocation import allocate_to_banks
+    from repro.core.cartesian import MergeGroup
+
+    union: dict[int, TableSpec] = {}
+    all_groups: list[MergeGroup] = []
+    id_offset: dict[str, int] = {}
+    candidate_total = 0
+    for k, model in enumerate(models):
+        offset = k * ID_STRIDE
+        id_offset[model.name] = offset
+        renamed = [
+            TableSpec(
+                table_id=offset + t.table_id,
+                rows=t.rows,
+                dim=t.dim,
+                dtype_bytes=t.dtype_bytes,
+                lookups_per_inference=t.lookups_per_inference,
+            )
+            for t in model.tables
+        ]
+        union.update({t.table_id: t for t in renamed})
+        # Phase 1: per-model merge structure via Algorithm 1.
+        solo = plan_tables(renamed, memory, timing=timing, config=config)
+        all_groups.extend(solo.placement.groups)
+        candidate_total += solo.candidate_count
+
+    # Phase 2: joint allocation of every model's groups.
+    placement = allocate_to_banks(all_groups, union, memory, timing)
+    joint = Plan(
+        placement=placement,
+        timing=timing,
+        candidate_count=candidate_total,
+        config=config or PlannerConfig(),
+    )
+    return CoLocationPlan(
+        joint=joint, models=tuple(models), id_offset=id_offset
+    )

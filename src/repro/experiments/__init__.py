@@ -1,0 +1,5 @@
+"""Experiment harness: regenerate every table and figure of the paper."""
+
+from repro.experiments.report import ExperimentResult, render_table
+
+__all__ = ["ExperimentResult", "render_table"]

@@ -1,0 +1,3 @@
+from repro.experiments.harness import main
+
+main()

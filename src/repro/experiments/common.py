@@ -1,0 +1,56 @@
+"""Shared builders for the experiment modules.
+
+Plans for the two production models are cached because several experiments
+(Tables 2, 3, 4, Figure 7) reuse them.
+"""
+
+from __future__ import annotations
+
+import functools
+
+from repro.core.planner import Plan, PlannerConfig, plan_tables
+from repro.cpu.costmodel import CpuCostModel
+from repro.experiments.calibration import (
+    default_memory,
+    default_timing,
+    fpga_config,
+)
+from repro.fpga.accelerator import FpgaAcceleratorModel
+from repro.models.spec import ModelSpec, production_large, production_small
+
+MODELS = {"small": production_small, "large": production_large}
+
+
+@functools.lru_cache(maxsize=None)
+def model(name: str) -> ModelSpec:
+    try:
+        return MODELS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown production model {name!r}; expected one of {sorted(MODELS)}"
+        ) from None
+
+
+@functools.lru_cache(maxsize=None)
+def plan(name: str, cartesian: bool = True) -> Plan:
+    """Planner output for a production model, with or without merging."""
+    return plan_tables(
+        model(name).tables,
+        default_memory(),
+        timing=default_timing(),
+        config=PlannerConfig(enable_cartesian=cartesian),
+    )
+
+
+def accelerator(
+    name: str, precision: str = "fixed16", cartesian: bool = True
+) -> FpgaAcceleratorModel:
+    p = plan(name, cartesian)
+    return FpgaAcceleratorModel(
+        model(name), p.placement, p.timing, fpga_config(precision)
+    )
+
+
+@functools.lru_cache(maxsize=None)
+def cpu_model(name: str) -> CpuCostModel:
+    return CpuCostModel(model(name))

@@ -1,0 +1,60 @@
+"""Appendix: cost estimation, CPU vs FPGA serving on AWS.
+
+The paper compares rental prices ($1.82/h for the CPU server, $1.65/h for
+the closest FPGA instance) and argues that with the measured speedups the
+FPGA engine is cheaper per inference.  We regenerate dollars per million
+inferences for both engines and both precisions.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import paper_data
+from repro.experiments.common import accelerator, cpu_model
+from repro.experiments.report import ExperimentResult
+
+
+def run() -> ExperimentResult:
+    cpu_price = paper_data.COST["cpu_server_per_hour_usd"]
+    fpga_price = paper_data.COST["fpga_server_per_hour_usd"]
+    rows = []
+    for name in ("small", "large"):
+        cm = cpu_model(name)
+        cpu_rate = cm.throughput_items_per_s(2048)
+        cpu_cost = cpu_price / 3600.0 / cpu_rate * 1e6
+        rows.append(
+            {
+                "model": name,
+                "engine": "CPU B=2048",
+                "items_per_s": cpu_rate,
+                "usd_per_hour": cpu_price,
+                "usd_per_1m_inferences": cpu_cost,
+                "cost_ratio_vs_cpu": 1.0,
+            }
+        )
+        for precision in ("fixed16", "fixed32"):
+            rate = accelerator(name, precision).performance().throughput_items_per_s
+            cost = fpga_price / 3600.0 / rate * 1e6
+            rows.append(
+                {
+                    "model": name,
+                    "engine": f"FPGA {precision}",
+                    "items_per_s": rate,
+                    "usd_per_hour": fpga_price,
+                    "usd_per_1m_inferences": cost,
+                    "cost_ratio_vs_cpu": cost / cpu_cost,
+                }
+            )
+    return ExperimentResult(
+        experiment_id="cost",
+        title="Serving cost: CPU vs FPGA on AWS",
+        columns=[
+            "model",
+            "engine",
+            "items_per_s",
+            "usd_per_hour",
+            "usd_per_1m_inferences",
+            "cost_ratio_vs_cpu",
+        ],
+        rows=rows,
+        notes=["paper: FPGA beneficial long-term given 4-5x speedup at fixed32"],
+    )

@@ -1,0 +1,50 @@
+"""Figure 3: the embedding layer is expensive during CPU inference.
+
+The paper motivates the whole system with this figure: at the small batch
+sizes latency SLAs force, the embedding layer (lookups + the 37 operator
+types around them) dominates CPU inference time on both production models.
+We regenerate the embedding-vs-total split at batch 1 and 64.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import paper_data
+from repro.experiments.common import cpu_model
+from repro.experiments.report import ExperimentResult
+
+BATCHES = (1, 64)
+
+
+def run() -> ExperimentResult:
+    rows = []
+    for name in ("small", "large"):
+        cm = cpu_model(name)
+        for batch in BATCHES:
+            emb = cm.embedding_latency_ms(batch)
+            total = cm.end_to_end_latency_ms(batch)
+            rows.append(
+                {
+                    "model": name,
+                    "batch": batch,
+                    "embedding_ms": emb,
+                    "total_ms": total,
+                    "embedding_share": emb / total,
+                    "paper_share": paper_data.FIGURE3[name][batch],
+                }
+            )
+    return ExperimentResult(
+        experiment_id="figure3",
+        title="Embedding layer share of CPU inference latency",
+        columns=[
+            "model",
+            "batch",
+            "embedding_ms",
+            "total_ms",
+            "embedding_share",
+            "paper_share",
+        ],
+        rows=rows,
+        notes=[
+            "paper_share derived from Tables 2 and 4 (embedding / end-to-end)",
+        ],
+    )

@@ -1,0 +1,94 @@
+"""Run every experiment and render the full paper-vs-measured report.
+
+``python -m repro.experiments`` prints all regenerated tables/figures.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.experiments import (
+    cache_study,
+    compression,
+    cost,
+    figure3,
+    figure7,
+    quantization,
+    queuing,
+    related_work,
+    serving_sla,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+)
+from repro.experiments.report import ExperimentResult, render_table
+
+EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
+    "figure3": figure3.run,
+    "table2": table2.run,
+    "table3": table3.run,
+    "table4": table4.run,
+    "table5": table5.run,
+    "figure7": figure7.run,
+    "table6": table6.run,
+    "cost": cost.run,
+    "queuing": queuing.run,
+    "serving_sla": serving_sla.run,
+    "quantization": quantization.run,
+    "related_work": related_work.run,
+    "compression": compression.run,
+    "cache_study": cache_study.run,
+}
+
+
+def run_all() -> dict[str, ExperimentResult]:
+    return {name: fn() for name, fn in EXPERIMENTS.items()}
+
+
+#: Figures that get an ASCII chart in addition to their data table:
+#: experiment -> (group_by, x_key, y_key, log_x, title).
+CHARTS = {
+    "figure7": (
+        "model",
+        "rounds",
+        "relative",
+        False,
+        "Figure 7: relative throughput vs lookup rounds",
+    ),
+    "serving_sla": (
+        "engine",
+        "rate_per_s",
+        "p99_ms",
+        True,
+        "Serving: p99 latency (ms) vs offered load (queries/s)",
+    ),
+}
+
+
+def render_one(result: ExperimentResult) -> str:
+    """Data table plus, for figure-style experiments, an ASCII chart."""
+    from repro.experiments.plotting import ascii_chart, series_from_rows
+
+    text = render_table(result)
+    chart_spec = CHARTS.get(result.experiment_id)
+    if chart_spec:
+        group_by, x_key, y_key, log_x, title = chart_spec
+        series = series_from_rows(result.rows, group_by, x_key, y_key)
+        if series:
+            text += "\n\n" + ascii_chart(series, title=title, log_x=log_x)
+    return text
+
+
+def render_all(results: dict[str, ExperimentResult] | None = None) -> str:
+    results = results or run_all()
+    return "\n\n".join(render_one(r) for r in results.values())
+
+
+def main() -> None:
+    print(render_all())
+
+
+if __name__ == "__main__":
+    main()

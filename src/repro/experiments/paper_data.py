@@ -1,0 +1,138 @@
+"""Published numbers from the MicroRec paper (MLSys 2021).
+
+Every table and figure of the evaluation section, transcribed so the
+experiment harness can print paper-vs-measured rows and the test suite can
+assert the reproduced *shapes* (speedup ranges, round counts, overhead
+bounds).  All latencies in milliseconds unless noted.
+"""
+
+from __future__ import annotations
+
+CPU_BATCHES = (1, 64, 256, 512, 1024, 2048)
+
+# -- Table 1: model specifications ------------------------------------------
+TABLE1 = {
+    "small": {"tables": 47, "feat_len": 352, "hidden": (1024, 512, 256),
+              "size_gb": 1.3},
+    "large": {"tables": 98, "feat_len": 876, "hidden": (1024, 512, 256),
+              "size_gb": 15.1},
+}
+
+# -- Table 2: end-to-end inference -------------------------------------------
+# CPU latency (ms) per batch size; FPGA latency (ms) and throughput.
+TABLE2 = {
+    "small": {
+        "cpu_latency_ms": dict(zip(CPU_BATCHES, (3.34, 5.41, 8.15, 11.15, 17.17, 28.18))),
+        "cpu_throughput_gops": dict(zip(CPU_BATCHES, (0.61, 24.04, 63.81, 93.32, 121.16, 147.65))),
+        "cpu_throughput_items": dict(zip(CPU_BATCHES, (299.71, 1.18e4, 3.14e4, 4.59e4, 5.96e4, 7.27e4))),
+        "fpga_latency_ms": {"fixed16": 1.63e-2, "fixed32": 2.26e-2},
+        "fpga_throughput_gops": {"fixed16": 619.50, "fixed32": 367.72},
+        "fpga_throughput_items": {"fixed16": 3.05e5, "fixed32": 1.81e5},
+        "speedup_b2048": {"fixed16": 4.19, "fixed32": 2.48},
+    },
+    "large": {
+        "cpu_latency_ms": dict(zip(CPU_BATCHES, (7.48, 10.23, 15.62, 21.06, 31.72, 56.98))),
+        "cpu_throughput_gops": dict(zip(CPU_BATCHES, (0.42, 19.48, 51.03, 75.66, 100.49, 111.89))),
+        "cpu_throughput_items": dict(zip(CPU_BATCHES, (133.68, 6.26e3, 1.64e4, 2.43e4, 3.23e4, 3.59e4))),
+        "fpga_latency_ms": {"fixed16": 2.26e-2, "fixed32": 3.10e-2},
+        "fpga_throughput_gops": {"fixed16": 606.41, "fixed32": 379.45},
+        "fpga_throughput_items": {"fixed16": 1.95e5, "fixed32": 1.22e5},
+        "speedup_b2048": {"fixed16": 5.41, "fixed32": 3.39},
+    },
+}
+#: Headline claim: 2.5-5.4x end-to-end speedup vs the B=2048 CPU baseline.
+TABLE2_SPEEDUP_RANGE = (2.48, 5.41)
+#: Headline claim: single-item latency 16.3-31.0 microseconds.
+TABLE2_LATENCY_RANGE_US = (16.3, 31.0)
+
+# -- Table 3: Cartesian products benefit/overhead ----------------------------
+TABLE3 = {
+    "small": {
+        "without": {"tables": 47, "tables_in_dram": 39, "rounds": 2,
+                    "storage": 1.0, "latency": 1.0},
+        "with": {"tables": 42, "tables_in_dram": 34, "rounds": 1,
+                 "storage": 1.032, "latency": 0.592},
+        "lookup_ns": {"without": 774.0, "with": 458.0},
+    },
+    "large": {
+        "without": {"tables": 98, "tables_in_dram": 82, "rounds": 3,
+                    "storage": 1.0, "latency": 1.0},
+        "with": {"tables": 84, "tables_in_dram": 68, "rounds": 2,
+                 "storage": 1.019, "latency": 0.721},
+        "lookup_ns": {"without": 2260.0, "with": 1630.0},
+    },
+}
+
+# -- Table 4: embedding layer performance ------------------------------------
+TABLE4 = {
+    "small": {
+        "cpu_latency_ms": dict(zip(CPU_BATCHES, (2.59, 3.86, 4.71, 5.96, 8.39, 12.96))),
+        "fpga_hbm_ms": 7.74e-4,
+        "fpga_hbm_cartesian_ms": 4.58e-4,
+        "speedup_hbm_b2048": 8.17,
+        "speedup_cartesian_b2048": 13.82,
+    },
+    "large": {
+        "cpu_latency_ms": dict(zip(CPU_BATCHES, (6.25, 8.05, 10.92, 13.67, 18.11, 31.25))),
+        "fpga_hbm_ms": 1.38e-3,
+        "fpga_hbm_cartesian_ms": 1.03e-3,
+        "speedup_hbm_b2048": 11.07,
+        "speedup_cartesian_b2048": 14.70,
+    },
+}
+#: Headline claim: 13.8-14.7x embedding-layer speedup at B=2048.
+TABLE4_SPEEDUP_RANGE = (13.82, 14.70)
+
+# -- Table 5: Facebook DLRM-RMC2 benchmark ------------------------------------
+#: lookup latency (ns) and speedup per (num_tables, embedding dim).
+TABLE5 = {
+    (8, 4): {"lookup_ns": 334.5, "speedup": 72.4},
+    (8, 8): {"lookup_ns": 353.7, "speedup": 68.4},
+    (8, 16): {"lookup_ns": 411.6, "speedup": 58.8},
+    (8, 32): {"lookup_ns": 486.3, "speedup": 49.7},
+    (8, 64): {"lookup_ns": 648.4, "speedup": 37.3},
+    (12, 4): {"lookup_ns": 648.5, "speedup": 37.3},
+    (12, 8): {"lookup_ns": 707.4, "speedup": 34.2},
+    (12, 16): {"lookup_ns": 817.4, "speedup": 29.6},
+    (12, 32): {"lookup_ns": 972.7, "speedup": 24.8},
+    (12, 64): {"lookup_ns": 1296.9, "speedup": 18.7},
+}
+TABLE5_SPEEDUP_RANGE = (18.7, 72.4)
+TABLE5_LOOKUPS_PER_TABLE = 4
+
+# -- Figure 3: embedding layer share of CPU inference -------------------------
+#: Embedding latency / end-to-end latency derived from Tables 2 and 4.
+FIGURE3 = {
+    "small": {1: 2.59 / 3.34, 64: 3.86 / 5.41},
+    "large": {1: 6.25 / 7.48, 64: 8.05 / 10.23},
+}
+
+# -- Figure 7: throughput vs rounds of lookups --------------------------------
+#: The paper reports the small model tolerates 6 rounds and the large model
+#: 4 rounds of lookups at fixed-16 before end-to-end throughput degrades.
+FIGURE7_TOLERATED_ROUNDS = {"small": 6, "large": 4}
+
+# -- Table 6: resource utilisation & frequency ---------------------------------
+TABLE6 = {
+    ("small", "fixed16"): {"freq_mhz": 120, "bram": 1566, "dsp": 4625,
+                           "ff": 683641, "lut": 485323, "uram": 642},
+    ("small", "fixed32"): {"freq_mhz": 140, "bram": 1657, "dsp": 5193,
+                           "ff": 764067, "lut": 568864, "uram": 770},
+    ("large", "fixed16"): {"freq_mhz": 120, "bram": 1566, "dsp": 4625,
+                           "ff": 691042, "lut": 514517, "uram": 642},
+    ("large", "fixed32"): {"freq_mhz": 135, "bram": 1721, "dsp": 5193,
+                           "ff": 777527, "lut": 584220, "uram": 770},
+}
+
+# -- Appendix: cost estimation -------------------------------------------------
+COST = {
+    "cpu_server_per_hour_usd": 1.82,
+    "fpga_server_per_hour_usd": 1.65,  # AWS U250, closest available model
+    "speedup_fixed32": (2.48, 3.39),  # "4-5x" in the appendix text rounds up
+}
+
+#: Embedding-lookup speedup attributed to HBM alone (paper contribution 1).
+HBM_SPEEDUP_RANGE = (8.2, 11.1)
+#: Additional factor attributed to Cartesian products (contribution 2).
+CARTESIAN_EXTRA_SPEEDUP_RANGE = (1.39, 1.69)
+CARTESIAN_STORAGE_OVERHEAD_RANGE = (0.019, 0.032)

@@ -1,0 +1,60 @@
+"""Serving/SLA experiment: tail latency vs offered load (extension).
+
+Quantifies section 1's motivation and section 4.1's design claim with a
+queueing simulation: the batched CPU engine meets a 30 ms p99 SLA only up
+to a fraction of its raw batch throughput (batch assembly wait + batched
+execution), while the item-by-item MicroRec pipeline holds microsecond
+tails until it saturates near its steady-state throughput.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.costmodel import CpuCostModel
+from repro.experiments.common import accelerator, model
+from repro.experiments.report import ExperimentResult
+from repro.serving.queueing import BatchedServerSim, PipelineServerSim
+from repro.serving.sla import DEFAULT_SLA_MS, sla_capacity_sweep
+
+RATES = (1_000, 10_000, 30_000, 60_000, 120_000, 240_000, 280_000)
+
+
+def run() -> ExperimentResult:
+    m = model("small")
+    cpu = CpuCostModel(m)
+    perf = accelerator("small", "fixed16").performance()
+    batched = BatchedServerSim(
+        cpu.end_to_end_latency_ms, batch_size=256, batch_timeout_ms=5.0
+    )
+    pipelined = PipelineServerSim(perf.single_item_latency_us, perf.ii_ns)
+    reports = sla_capacity_sweep(batched, pipelined, RATES)
+
+    rows: list[dict[str, object]] = []
+    for report in reports.values():
+        rows.extend(report.rows())
+    rows.append(
+        {
+            "engine": "sla-capacity",
+            "rate_per_s": None,
+            "cpu_capacity_per_s": reports["cpu"].sla_capacity_per_s,
+            "fpga_capacity_per_s": reports["fpga"].sla_capacity_per_s,
+        }
+    )
+    return ExperimentResult(
+        experiment_id="serving_sla",
+        title=f"Tail latency vs load (p99 SLA = {DEFAULT_SLA_MS:.0f} ms, "
+        "small model, fixed16)",
+        columns=[
+            "engine",
+            "rate_per_s",
+            "p50_ms",
+            "p99_ms",
+            "meets_sla",
+            "cpu_capacity_per_s",
+            "fpga_capacity_per_s",
+        ],
+        rows=rows,
+        notes=[
+            "CPU: batch 256 + 5 ms assembly timeout; FPGA: item-by-item "
+            "pipeline (section 4.1)",
+        ],
+    )

@@ -1,0 +1,84 @@
+"""Table 2: end-to-end recommendation inference, CPU vs MicroRec.
+
+For each production model: the CPU baseline's batch latency / throughput at
+B in {1, 64, 256, 512, 1024, 2048}, the FPGA engine at fixed-16 and
+fixed-32, and the speedups.  As in the paper, speedups compare per-item
+time: CPU batch latency / B against FPGA *batch latency* / B (pipeline fill
+included), while the headline microsecond figure is the FPGA's single-item
+latency through the empty pipeline.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import paper_data
+from repro.experiments.common import accelerator, cpu_model
+from repro.experiments.report import ExperimentResult
+
+PRECISIONS = ("fixed16", "fixed32")
+PRECISION_LABEL = {"fixed16": "fp16", "fixed32": "fp32"}
+
+
+def run() -> ExperimentResult:
+    rows = []
+    for name in ("small", "large"):
+        cm = cpu_model(name)
+        paper = paper_data.TABLE2[name]
+        ops = cm.model.ops_per_inference
+        for batch in paper_data.CPU_BATCHES:
+            lat = cm.end_to_end_latency_ms(batch)
+            rows.append(
+                {
+                    "model": name,
+                    "engine": f"CPU B={batch}",
+                    "latency_ms": lat,
+                    "paper_latency_ms": paper["cpu_latency_ms"][batch],
+                    "throughput_items": cm.throughput_items_per_s(batch),
+                    "throughput_gops": cm.throughput_gops(batch),
+                }
+            )
+        for precision in PRECISIONS:
+            perf = accelerator(name, precision).performance()
+            label = PRECISION_LABEL[precision]
+            cpu_per_item_ms = cm.end_to_end_latency_ms(2048) / 2048
+            fpga_per_item_ms = perf.batch_latency_ms(2048) / 2048
+            rows.append(
+                {
+                    "model": name,
+                    "engine": f"FPGA {label}",
+                    "latency_ms": perf.single_item_latency_us / 1e3,
+                    "paper_latency_ms": paper["fpga_latency_ms"][precision],
+                    "throughput_items": perf.throughput_items_per_s,
+                    "throughput_gops": perf.throughput_gops,
+                    "speedup_vs_cpu_b2048": cpu_per_item_ms / fpga_per_item_ms,
+                    "paper_speedup": paper["speedup_b2048"][precision],
+                }
+            )
+    return ExperimentResult(
+        experiment_id="table2",
+        title="End-to-end inference: CPU baseline vs MicroRec",
+        columns=[
+            "model",
+            "engine",
+            "latency_ms",
+            "paper_latency_ms",
+            "throughput_items",
+            "throughput_gops",
+            "speedup_vs_cpu_b2048",
+            "paper_speedup",
+        ],
+        rows=rows,
+        notes=[
+            "FPGA latency is a single item through the empty pipeline;",
+            "speedups compare per-item batch time at B=2048, as in the paper.",
+        ],
+    )
+
+
+def speedup_range(result: ExperimentResult) -> tuple[float, float]:
+    """Min/max measured end-to-end speedup across models and precisions."""
+    values = [
+        r["speedup_vs_cpu_b2048"]
+        for r in result.rows
+        if "speedup_vs_cpu_b2048" in r
+    ]
+    return min(values), max(values)

@@ -1,0 +1,77 @@
+"""Table 4: embedding layer performance, CPU vs FPGA.
+
+The CPU baseline's embedding-layer latency across batch sizes against the
+FPGA lookup latency in the two hardware configurations — HBM allocation
+only, and HBM + Cartesian products.  Speedups compare CPU per-item time
+against the FPGA per-item lookup latency, as in the paper.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import paper_data
+from repro.experiments.common import cpu_model, plan
+from repro.experiments.report import ExperimentResult
+
+
+def run() -> ExperimentResult:
+    rows = []
+    for name in ("small", "large"):
+        paper = paper_data.TABLE4[name]
+        cm = cpu_model(name)
+        hbm_ns = plan(name, cartesian=False).lookup_latency_ns
+        cart_ns = plan(name, cartesian=True).lookup_latency_ns
+        for batch in paper_data.CPU_BATCHES:
+            cpu_ms = cm.embedding_latency_ms(batch)
+            per_item_ns = cpu_ms * 1e6 / batch
+            rows.append(
+                {
+                    "model": name,
+                    "batch": batch,
+                    "cpu_ms": cpu_ms,
+                    "paper_cpu_ms": paper["cpu_latency_ms"][batch],
+                    "speedup_hbm": per_item_ns / hbm_ns,
+                    "speedup_hbm_cartesian": per_item_ns / cart_ns,
+                }
+            )
+        rows.append(
+            {
+                "model": name,
+                "batch": "FPGA",
+                "fpga_hbm_ns": hbm_ns,
+                "paper_hbm_ns": paper["fpga_hbm_ms"] * 1e6,
+                "fpga_cartesian_ns": cart_ns,
+                "paper_cartesian_ns": paper["fpga_hbm_cartesian_ms"] * 1e6,
+            }
+        )
+    return ExperimentResult(
+        experiment_id="table4",
+        title="Embedding layer: CPU baseline vs FPGA (HBM, HBM+Cartesian)",
+        columns=[
+            "model",
+            "batch",
+            "cpu_ms",
+            "paper_cpu_ms",
+            "speedup_hbm",
+            "speedup_hbm_cartesian",
+            "fpga_hbm_ns",
+            "paper_hbm_ns",
+            "fpga_cartesian_ns",
+            "paper_cartesian_ns",
+        ],
+        rows=rows,
+        notes=[
+            "paper speedups at B=2048: HBM 8.17x/11.07x, "
+            "HBM+Cartesian 13.82x/14.70x",
+        ],
+    )
+
+
+def speedups_at(result: ExperimentResult, batch: int) -> dict[str, dict[str, float]]:
+    out: dict[str, dict[str, float]] = {}
+    for r in result.rows:
+        if r.get("batch") == batch:
+            out[str(r["model"])] = {
+                "hbm": float(r["speedup_hbm"]),
+                "cartesian": float(r["speedup_hbm_cartesian"]),
+            }
+    return out

@@ -1,0 +1,69 @@
+"""Table 5: embedding lookups on the Facebook DLRM-RMC2 benchmark.
+
+The benchmark's embedding-dominated model class has 8-12 small tables,
+each looked up 4 times (32-48 lookups per item).  Tables fit single HBM
+banks and are replicated so lookups spread across all 32 HBM channels:
+8 tables need one round of DRAM access, 12 tables need two — which is the
+whole structure of the paper's speedup range (72.4x down to 18.7x against
+the published DeepRecSys CPU baseline at batch 256).
+"""
+
+from __future__ import annotations
+
+from repro.cpu.costmodel import facebook_rmc2_embedding_us_per_item
+from repro.experiments import paper_data
+from repro.experiments.calibration import default_memory, default_timing
+from repro.experiments.report import ExperimentResult
+from repro.fpga.lookup import replicated_lookup_ns
+from repro.memory.spec import BankKind
+
+TABLE_COUNTS = (8, 12)
+DIMS = (4, 8, 16, 32, 64)
+DTYPE_BYTES = 4
+
+
+def run() -> ExperimentResult:
+    memory = default_memory()
+    timing = default_timing()
+    hbm_channels = len(memory.banks_of(BankKind.HBM))
+    rows = []
+    for num_tables in TABLE_COUNTS:
+        lookups = num_tables * paper_data.TABLE5_LOOKUPS_PER_TABLE
+        baseline_us = facebook_rmc2_embedding_us_per_item(num_tables)
+        for dim in DIMS:
+            ours_ns = replicated_lookup_ns(
+                total_lookups=lookups,
+                vector_bytes=dim * DTYPE_BYTES,
+                channels=hbm_channels,
+                timing=timing,
+            )
+            paper = paper_data.TABLE5[(num_tables, dim)]
+            rows.append(
+                {
+                    "tables": num_tables,
+                    "dim": dim,
+                    "lookups": lookups,
+                    "lookup_ns": ours_ns,
+                    "paper_lookup_ns": paper["lookup_ns"],
+                    "speedup": baseline_us * 1e3 / ours_ns,
+                    "paper_speedup": paper["speedup"],
+                }
+            )
+    return ExperimentResult(
+        experiment_id="table5",
+        title="DLRM-RMC2 embedding lookups vs Facebook baseline",
+        columns=[
+            "tables",
+            "dim",
+            "lookups",
+            "lookup_ns",
+            "paper_lookup_ns",
+            "speedup",
+            "paper_speedup",
+        ],
+        rows=rows,
+        notes=[
+            "baseline: DeepRecSys 2-socket Broadwell, batch 256 "
+            "(published data, modelled at ~24-29 us/item)",
+        ],
+    )

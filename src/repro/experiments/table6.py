@@ -1,0 +1,44 @@
+"""Table 6 (appendix): FPGA resource utilisation and clock frequency.
+
+The structural resource model (per-PE costs, per-channel FIFOs, URAM weight
+buffers) composed for both models and precisions, against the paper's
+post-synthesis totals.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import paper_data
+from repro.experiments.common import accelerator
+from repro.experiments.report import ExperimentResult
+
+RESOURCES = ("bram", "dsp", "ff", "lut", "uram")
+
+
+def run() -> ExperimentResult:
+    rows = []
+    for name in ("small", "large"):
+        for precision in ("fixed16", "fixed32"):
+            report = accelerator(name, precision).resources()
+            paper = paper_data.TABLE6[(name, precision)]
+            util = report.utilisation()
+            row: dict[str, object] = {
+                "model": name,
+                "precision": precision,
+                "freq_mhz": report.frequency_mhz,
+                "paper_freq": paper["freq_mhz"],
+            }
+            for res in RESOURCES:
+                row[res] = getattr(report, res)
+                row[f"paper_{res}"] = paper[res]
+                row[f"{res}_util"] = util[res]
+            rows.append(row)
+    columns = ["model", "precision", "freq_mhz", "paper_freq"]
+    for res in RESOURCES:
+        columns += [res, f"paper_{res}", f"{res}_util"]
+    return ExperimentResult(
+        experiment_id="table6",
+        title="FPGA frequency and resource utilisation (Alveo U280)",
+        columns=columns,
+        rows=rows,
+        notes=["utilisation fractions are against XCU280 device totals"],
+    )

@@ -1,0 +1,159 @@
+"""Assembled MicroRec accelerator model: lookup stage + pipelined DNN.
+
+:class:`FpgaAcceleratorModel` glues the substrates together for one model
+and one precision: the embedding lookup stage comes from the planner's
+placement over the hybrid memory system, each hidden FC layer contributes
+its broadcast/GEMM/gather sub-stages (Figure 6), and the whole chain is a
+:class:`~repro.fpga.pipeline.PipelineModel`.  Every number the paper's
+Tables 2 and 4 and Figure 7 report about the FPGA side is a method here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.allocation import Placement
+from repro.fpga.gemm import GemmStageModel, PeArrayConfig
+from repro.fpga.lookup import placement_lookup_stage
+from repro.fpga.pipeline import PipelineModel, PipelineStage
+from repro.fpga.resources import (
+    ResourceReport,
+    achieved_frequency_mhz,
+    estimate_resources,
+)
+from repro.memory.timing import MemoryTimingModel
+from repro.models.spec import ModelSpec
+
+#: Effective MAC lanes per PE (calibration; consistent with 14/18 DSPs/PE).
+LANES_PER_PE = {"fixed16": 10, "fixed32": 5}
+
+
+@dataclass(frozen=True)
+class FpgaConfig:
+    """Build configuration of the accelerator."""
+
+    precision: str = "fixed16"  # "fixed16" or "fixed32"
+    pes_per_layer: tuple[int, ...] = (128, 128, 32)  # paper appendix
+    broadcast_width: int = 16
+    gather_width: int = 16
+    stage_overhead_cycles: int = 64
+
+    def __post_init__(self) -> None:
+        if self.precision not in LANES_PER_PE:
+            raise ValueError(
+                f"precision must be one of {sorted(LANES_PER_PE)}, "
+                f"got {self.precision!r}"
+            )
+        if not self.pes_per_layer or any(p <= 0 for p in self.pes_per_layer):
+            raise ValueError("pes_per_layer must be positive counts")
+
+    @property
+    def lanes_per_pe(self) -> int:
+        return LANES_PER_PE[self.precision]
+
+
+@dataclass(frozen=True)
+class FpgaPerformance:
+    """Performance summary of one accelerator build."""
+
+    precision: str
+    frequency_mhz: float
+    single_item_latency_us: float
+    ii_ns: float
+    throughput_items_per_s: float
+    throughput_gops: float
+    bottleneck_stage: str
+    stages: tuple[tuple[str, float, float], ...] = field(repr=False)
+
+    def batch_latency_ms(self, batch_size: int) -> float:
+        fill = self.single_item_latency_us * 1e3 - self.ii_ns  # ns
+        return (fill + batch_size * self.ii_ns) / 1e6
+
+
+class FpgaAcceleratorModel:
+    """Timed model of MicroRec on the U280 for one model spec."""
+
+    def __init__(
+        self,
+        model: ModelSpec,
+        placement: Placement,
+        timing: MemoryTimingModel,
+        config: FpgaConfig | None = None,
+    ):
+        self.model = model
+        self.placement = placement
+        self.timing = timing
+        self.config = config or FpgaConfig()
+        self.frequency_mhz = achieved_frequency_mhz(
+            self.config.precision, model.feature_len
+        )
+
+    # -- pipeline construction ---------------------------------------------
+
+    def _pes_for_layer(self, layer_index: int) -> int:
+        pes = self.config.pes_per_layer
+        return pes[layer_index] if layer_index < len(pes) else pes[-1]
+
+    def hidden_layer_models(self) -> list[GemmStageModel]:
+        """One GEMM model per hidden FC layer (the scalar head is folded
+        into the final gather; it is 0.03 % of the ops)."""
+        widths = [self.model.feature_len, *self.model.hidden]
+        out = []
+        for i, (din, dout) in enumerate(zip(widths[:-1], widths[1:])):
+            out.append(
+                GemmStageModel(
+                    in_dim=din,
+                    out_dim=dout,
+                    pe_array=PeArrayConfig(
+                        self._pes_for_layer(i), self.config.lanes_per_pe
+                    ),
+                    clock_mhz=self.frequency_mhz,
+                    broadcast_width=self.config.broadcast_width,
+                    gather_width=self.config.gather_width,
+                    stage_overhead_cycles=self.config.stage_overhead_cycles,
+                )
+            )
+        return out
+
+    def pipeline(self, lookup_rounds: int = 1) -> PipelineModel:
+        stages: list[PipelineStage] = [
+            placement_lookup_stage(
+                self.placement, self.timing, lookup_rounds=lookup_rounds
+            )
+        ]
+        for i, layer in enumerate(self.hidden_layer_models()):
+            stages.extend(layer.stages(f"fc{i}"))
+        return PipelineModel(stages)
+
+    # -- reported quantities -------------------------------------------------
+
+    def lookup_latency_ns(self, lookup_rounds: int = 1) -> float:
+        return self.placement.lookup_latency_ns(
+            self.timing, lookup_rounds=lookup_rounds
+        )
+
+    def performance(self, lookup_rounds: int = 1) -> FpgaPerformance:
+        pipe = self.pipeline(lookup_rounds=lookup_rounds)
+        items_per_s = pipe.throughput_items_per_s
+        return FpgaPerformance(
+            precision=self.config.precision,
+            frequency_mhz=self.frequency_mhz,
+            single_item_latency_us=pipe.single_item_latency_ns / 1e3,
+            ii_ns=pipe.ii_ns,
+            throughput_items_per_s=items_per_s,
+            throughput_gops=items_per_s * self.model.ops_per_inference / 1e9,
+            bottleneck_stage=pipe.bottleneck.name,
+            stages=tuple(pipe.describe()),
+        )
+
+    def resources(self) -> ResourceReport:
+        widths = [self.model.feature_len, *self.model.hidden]
+        hidden_dims = list(zip(widths[:-1], widths[1:]))
+        pes = [self._pes_for_layer(i) for i in range(len(hidden_dims))]
+        return estimate_resources(
+            feature_len=self.model.feature_len,
+            hidden_layer_dims=hidden_dims,
+            pes_per_layer=pes,
+            precision=self.config.precision,
+            dram_channels=self.placement.memory.num_dram_channels,
+        )

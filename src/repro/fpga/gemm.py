@@ -1,0 +1,128 @@
+"""PE-array GEMM model for the DNN computation modules (section 4.3).
+
+Each FC layer is computed by an array of processing elements (PEs); every
+PE performs a slice of the matrix-vector product via parallel multipliers
+feeding an adder tree.  The layer is wrapped in three pipeline sub-stages —
+feature broadcasting, GEMM computation, result gathering — matching the
+lower half of the paper's Figure 6.
+
+Cycle model: a layer of ``in_dim x out_dim`` multiply-accumulates spread
+over ``num_pes`` PEs with ``lanes_per_pe`` multipliers each completes in
+``ceil(in*out / (pes*lanes))`` cycles.  ``lanes_per_pe`` is a calibration
+constant (see ``repro.experiments.calibration``): 10 effective MAC lanes at
+16-bit and 5 at 32-bit reproduce the paper's Table 2 throughput within a
+few percent and are consistent with the appendix's 14 / 18 DSPs per PE.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.fpga.pipeline import PipelineStage
+
+
+@dataclass(frozen=True)
+class PeArrayConfig:
+    """Shape of the PE array assigned to one FC layer."""
+
+    num_pes: int
+    lanes_per_pe: int
+
+    def __post_init__(self) -> None:
+        if self.num_pes <= 0:
+            raise ValueError(f"num_pes must be positive, got {self.num_pes}")
+        if self.lanes_per_pe <= 0:
+            raise ValueError(
+                f"lanes_per_pe must be positive, got {self.lanes_per_pe}"
+            )
+
+    @property
+    def macs_per_cycle(self) -> int:
+        return self.num_pes * self.lanes_per_pe
+
+
+@dataclass(frozen=True)
+class GemmStageModel:
+    """Timing of one FC layer on its PE array.
+
+    Parameters
+    ----------
+    in_dim, out_dim:
+        Layer shape (matrix-vector per item: ``in_dim x out_dim`` MACs).
+    pe_array:
+        PE count and per-PE multiplier lanes for this layer.
+    clock_mhz:
+        Achieved clock of the accelerator (timing-closure dependent, see
+        ``repro.fpga.resources.achieved_frequency_mhz``).
+    broadcast_width, gather_width:
+        Elements moved per cycle when broadcasting the input feature vector
+        to PEs and when collecting results.
+    stage_overhead_cycles:
+        Fixed per-sub-stage control/FIFO overhead (calibrated so summed
+        stage latencies reproduce the paper's 16.3–31.0 us end-to-end
+        single-item latency).
+    """
+
+    in_dim: int
+    out_dim: int
+    pe_array: PeArrayConfig
+    clock_mhz: float
+    broadcast_width: int = 16
+    gather_width: int = 16
+    stage_overhead_cycles: int = 64
+
+    def __post_init__(self) -> None:
+        if self.in_dim <= 0 or self.out_dim <= 0:
+            raise ValueError(
+                f"layer dims must be positive, got {self.in_dim}x{self.out_dim}"
+            )
+        if self.clock_mhz <= 0:
+            raise ValueError(f"clock_mhz must be positive, got {self.clock_mhz}")
+
+    @property
+    def cycle_ns(self) -> float:
+        return 1e3 / self.clock_mhz
+
+    @property
+    def macs(self) -> int:
+        return self.in_dim * self.out_dim
+
+    @property
+    def compute_cycles(self) -> int:
+        return math.ceil(self.macs / self.pe_array.macs_per_cycle)
+
+    @property
+    def broadcast_cycles(self) -> int:
+        return math.ceil(self.in_dim / self.broadcast_width)
+
+    @property
+    def gather_cycles(self) -> int:
+        return math.ceil(self.out_dim / self.gather_width)
+
+    def stages(self, layer_name: str) -> list[PipelineStage]:
+        """The three pipeline sub-stages of this layer (Figure 6).
+
+        Each sub-stage is internally pipelined: it accepts a new item every
+        ``work`` cycles (its II) while the fixed control/FIFO overhead only
+        lengthens the latency an individual item observes.
+        """
+        oh = self.stage_overhead_cycles
+        c = self.cycle_ns
+        return [
+            PipelineStage(
+                f"{layer_name}/broadcast",
+                (self.broadcast_cycles + oh) * c,
+                self.broadcast_cycles * c,
+            ),
+            PipelineStage(
+                f"{layer_name}/gemm",
+                (self.compute_cycles + oh) * c,
+                self.compute_cycles * c,
+            ),
+            PipelineStage(
+                f"{layer_name}/gather",
+                (self.gather_cycles + oh) * c,
+                self.gather_cycles * c,
+            ),
+        ]

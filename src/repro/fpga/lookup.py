@@ -1,0 +1,64 @@
+"""Embedding lookup unit timing (paper section 4.2).
+
+Two entry points:
+
+* :func:`placement_lookup_stage` — the lookup stage of a full accelerator,
+  driven by a planner :class:`~repro.core.allocation.Placement`: banks are
+  read concurrently, accesses within a bank serialise, and the stage's
+  latency is the slowest bank's serial time.
+* :func:`replicated_lookup_ns` — the standalone microbenchmark
+  configuration of Table 5: a handful of small tables whose lookups are
+  spread (with replication, tables being well under one HBM bank) across
+  all HBM channels, so the latency is simply "rounds x one DRAM access",
+  with ``rounds = ceil(total_lookups / channels)``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.allocation import Placement
+from repro.fpga.pipeline import PipelineStage
+from repro.memory.timing import MemoryTimingModel
+
+
+def placement_lookup_stage(
+    placement: Placement,
+    timing: MemoryTimingModel,
+    lookup_rounds: int = 1,
+    name: str = "embedding-lookup",
+) -> PipelineStage:
+    """Lookup pipeline stage implied by a placement.
+
+    The unit issues one item's accesses, concatenates the vectors and
+    pushes them into the FIFO towards the first FC layer; it cannot start
+    the next item's accesses on a bank before finishing the current item's
+    on that bank, so II equals latency.
+
+    ``lookup_rounds`` scales every table's lookups for the multi-round DNN
+    architectures of Figure 7.
+    """
+    if lookup_rounds <= 0:
+        raise ValueError(f"lookup_rounds must be positive, got {lookup_rounds}")
+    latency = placement.lookup_latency_ns(timing, lookup_rounds=lookup_rounds)
+    return PipelineStage(name, latency)
+
+
+def replicated_lookup_ns(
+    total_lookups: int,
+    vector_bytes: int,
+    channels: int,
+    timing: MemoryTimingModel,
+) -> float:
+    """Latency of ``total_lookups`` identical-dim lookups over ``channels``.
+
+    Models the Table 5 microbenchmark: every table fits one HBM bank and is
+    replicated so lookups spread evenly; the busiest channel serves
+    ``ceil(total_lookups / channels)`` rounds of one random access each.
+    """
+    if total_lookups <= 0:
+        raise ValueError(f"total_lookups must be positive, got {total_lookups}")
+    if channels <= 0:
+        raise ValueError(f"channels must be positive, got {channels}")
+    rounds = math.ceil(total_lookups / channels)
+    return rounds * timing.dram_access_ns(vector_bytes)

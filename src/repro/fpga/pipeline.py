@@ -1,0 +1,93 @@
+"""Deeply pipelined dataflow model (paper section 4.1, Figure 6).
+
+MicroRec processes items *item by item* through a chain of stages connected
+by FIFOs: the embedding lookup stage followed, per FC layer, by feature
+broadcasting, GEMM computation, and result gathering.  Two consequences the
+model captures:
+
+* the end-to-end latency of a single item is the sum of stage latencies
+  (no batch assembly wait), which is how the paper reaches tens of
+  microseconds; and
+* steady-state throughput is set by the slowest stage's initiation
+  interval, while a batch of ``n`` items takes "fill + (n-1) x II" — the
+  paper's Table 2 speedups are computed against this *batch latency*,
+  "which consists of both the stable stages in the middle of the pipeline
+  as well as the time overhead of starting and ending stages".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class PipelineStage:
+    """One dataflow stage.
+
+    ``latency_ns`` is the time one item spends in the stage;
+    ``ii_ns`` is the initiation interval — how often the stage can accept
+    a new item.  For a fully pipelined stage ``ii < latency``; for a stage
+    that must finish an item before accepting the next, ``ii == latency``.
+    """
+
+    name: str
+    latency_ns: float
+    ii_ns: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.latency_ns < 0:
+            raise ValueError(f"{self.name}: latency must be >= 0")
+        ii = self.latency_ns if self.ii_ns is None else self.ii_ns
+        if ii < 0:
+            raise ValueError(f"{self.name}: ii must be >= 0")
+        if ii > self.latency_ns:
+            raise ValueError(
+                f"{self.name}: ii ({ii}) cannot exceed latency "
+                f"({self.latency_ns})"
+            )
+        object.__setattr__(self, "ii_ns", ii)
+
+
+class PipelineModel:
+    """A linear chain of stages with FIFO hand-off."""
+
+    def __init__(self, stages: Sequence[PipelineStage]):
+        if not stages:
+            raise ValueError("pipeline needs at least one stage")
+        self.stages = list(stages)
+
+    @property
+    def single_item_latency_ns(self) -> float:
+        """End-to-end latency of one item traversing an empty pipeline."""
+        return sum(s.latency_ns for s in self.stages)
+
+    @property
+    def ii_ns(self) -> float:
+        """Steady-state initiation interval = the bottleneck stage's II."""
+        return max(s.ii_ns for s in self.stages)
+
+    @property
+    def bottleneck(self) -> PipelineStage:
+        return max(self.stages, key=lambda s: s.ii_ns)
+
+    @property
+    def throughput_items_per_s(self) -> float:
+        ii = self.ii_ns
+        if ii == 0:
+            raise ZeroDivisionError("pipeline with zero II has no finite rate")
+        return 1e9 / ii
+
+    def batch_latency_ns(self, batch_size: int) -> float:
+        """Time to drain ``batch_size`` items through the pipeline.
+
+        The first item pays the full fill latency; each subsequent item
+        completes one bottleneck II later.
+        """
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        return self.single_item_latency_ns + (batch_size - 1) * self.ii_ns
+
+    def describe(self) -> list[tuple[str, float, float]]:
+        """(name, latency_ns, ii_ns) per stage, for reports."""
+        return [(s.name, s.latency_ns, s.ii_ns) for s in self.stages]

@@ -1,0 +1,147 @@
+"""Trace-driven whole-engine simulation (extension).
+
+Composes the substrates into one end-to-end run: a real query trace from
+:class:`~repro.models.workload.QueryGenerator` drives per-query embedding
+lookups through the queued DRAM channel model
+(:mod:`repro.memory.dramsim`), and the resulting *per-item* lookup
+latencies feed the discrete-event pipeline simulator
+(:mod:`repro.fpga.eventsim`).  The output is a distribution of per-query
+engine latencies instead of the single worst-case number the analytical
+model reports — the FPGA-side analogue of the serving simulation.
+
+What this adds over the closed form:
+
+* queries whose rows hit open DRAM rows (skewed traffic) finish their
+  lookups faster; the FIFOs let fast lookups run ahead;
+* the p99/worst-case of the simulated distribution brackets the analytical
+  estimate, which tests assert (`analytical >= p50`, `analytical <= ~max`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.planner import Plan
+from repro.fpga.accelerator import FpgaAcceleratorModel
+from repro.fpga.eventsim import SimResult, simulate_with_lookup_jitter
+from repro.memory.dramsim import DramChannelSim, DramTimingParams
+from repro.models.workload import QueryBatch
+
+
+@dataclass(frozen=True)
+class TraceReport:
+    """Latency distribution of a trace-driven engine run."""
+
+    lookup_ns: np.ndarray  # per-query simulated lookup latency
+    engine: SimResult  # pipeline simulation fed by those lookups
+
+    @property
+    def queries(self) -> int:
+        return int(self.lookup_ns.size)
+
+    def lookup_percentile_ns(self, q: float) -> float:
+        return float(np.percentile(self.lookup_ns, q))
+
+    def latency_percentile_us(self, q: float) -> float:
+        lat = [self.engine.item_latency_ns(i) for i in range(self.queries)]
+        return float(np.percentile(lat, q)) / 1e3
+
+    @property
+    def throughput_items_per_s(self) -> float:
+        return self.engine.throughput_items_per_s
+
+
+def per_query_lookup_ns(
+    plan: Plan,
+    batch: QueryBatch,
+    params: DramTimingParams | None = None,
+) -> np.ndarray:
+    """Simulate each query's embedding lookup through queued channels.
+
+    Channels operate concurrently: a query's lookup latency is the max
+    over DRAM banks of that bank's service time for the query's accesses
+    (on-chip banks are far faster and never the bottleneck here).
+    Channel state (open rows, refresh clocks) persists across queries, so
+    row-buffer locality between consecutive queries is captured.
+    """
+    placement = plan.placement
+    params = params or DramTimingParams()
+    # Persistent per-bank simulators and the resident groups per bank.
+    sims: dict[int, DramChannelSim] = {}
+    residents: dict[int, list] = {}
+    offsets: dict[int, dict] = {}
+    for group, bank_id in placement.bank_of.items():
+        if not placement.memory.bank(bank_id).kind.is_dram:
+            continue
+        sims.setdefault(bank_id, DramChannelSim(params))
+        residents.setdefault(bank_id, []).append(group)
+    for bank_id, groups in residents.items():
+        specs = [placement.group_spec(g) for g in groups]
+        starts = np.cumsum([0] + [s.nbytes for s in specs[:-1]])
+        offsets[bank_id] = {
+            g: int(start) for g, start in zip(groups, starts)
+        }
+
+    n = batch.batch_size
+    out = np.zeros(n, dtype=np.float64)
+    for i in range(n):
+        worst = 0.0
+        for bank_id, groups in residents.items():
+            sim = sims[bank_id]
+            t = 0.0
+            for group in groups:
+                spec = placement.group_spec(group)
+                base = offsets[bank_id][group]
+                if group.is_merged:
+                    # Merged members are single-lookup (planner invariant);
+                    # derive the product row (row-major, as CartesianTable).
+                    row = 0
+                    for member in group.member_ids:
+                        member_rows = placement.specs[member].rows
+                        row = row * member_rows + int(
+                            batch.indices[member][i, 0]
+                        )
+                    t += sim.access(
+                        base + row * spec.vector_bytes, spec.vector_bytes
+                    )
+                else:
+                    tid = group.member_ids[0]
+                    for row in batch.indices[tid][i]:
+                        t += sim.access(
+                            base + int(row) * spec.vector_bytes,
+                            spec.vector_bytes,
+                        )
+            worst = max(worst, t)
+        out[i] = worst
+    return out
+
+
+def run_trace(
+    accelerator: FpgaAcceleratorModel,
+    plan: Plan,
+    batch: QueryBatch,
+    params: DramTimingParams | None = None,
+    fifo_depth: int = 8,
+    arrival_ii_ns: float | None = None,
+) -> TraceReport:
+    """Full trace-driven engine simulation for one query batch.
+
+    ``arrival_ii_ns`` spaces query arrivals; the default (the pipeline's
+    own II) keeps the engine at full load without FIFO queueing, so item
+    latencies are comparable to the analytical single-item latency.  Pass
+    0 for a saturating burst (latencies then include queueing delay).
+    """
+    lookups = per_query_lookup_ns(plan, batch, params)
+    pipe = accelerator.pipeline()
+    if arrival_ii_ns is None:
+        arrival_ii_ns = pipe.ii_ns
+    engine = simulate_with_lookup_jitter(
+        pipe,
+        lambda i: float(lookups[i]),
+        items=batch.batch_size,
+        fifo_depth=fifo_depth,
+        arrival_ii_ns=arrival_ii_ns,
+    )
+    return TraceReport(lookup_ns=lookups, engine=engine)

@@ -1,0 +1,121 @@
+"""Mutable simulation state for the memory system.
+
+:class:`BankState` tracks what has been placed in a bank, enforces capacity,
+and accumulates access statistics; :class:`MemorySystemState` aggregates the
+banks of one :class:`~repro.memory.spec.MemorySystemSpec` and answers the
+timing questions the lookup simulation asks ("if each resident object is
+read once, how long does this bank serialise for, and how many *rounds* of
+DRAM access does the busiest channel need?").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.memory.spec import BankSpec, MemorySystemSpec
+from repro.memory.timing import MemoryTimingModel
+
+
+@dataclass
+class BankState:
+    """Occupancy and access statistics of one memory bank."""
+
+    spec: BankSpec
+    residents: dict[object, int] = field(default_factory=dict)  # key -> bytes
+    reads: int = 0
+    bytes_read: int = 0
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(self.residents.values())
+
+    @property
+    def free_bytes(self) -> int:
+        return self.spec.capacity_bytes - self.used_bytes
+
+    def can_fit(self, nbytes: int) -> bool:
+        return nbytes <= self.free_bytes
+
+    def place(self, key: object, nbytes: int) -> None:
+        """Reserve ``nbytes`` for ``key``; raises if it does not fit."""
+        if key in self.residents:
+            raise ValueError(f"{key!r} already placed in bank {self.spec.bank_id}")
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        if not self.can_fit(nbytes):
+            raise ValueError(
+                f"bank {self.spec.bank_id} ({self.spec.kind.value}): "
+                f"{nbytes} B does not fit in {self.free_bytes} B free"
+            )
+        self.residents[key] = nbytes
+
+    def evict(self, key: object) -> None:
+        try:
+            del self.residents[key]
+        except KeyError:
+            raise KeyError(
+                f"{key!r} is not resident in bank {self.spec.bank_id}"
+            ) from None
+
+    def record_read(self, nbytes: int) -> None:
+        self.reads += 1
+        self.bytes_read += nbytes
+
+    def serial_read_ns(self, timing: MemoryTimingModel) -> float:
+        """Time to read every resident object once, back to back.
+
+        Reads to the same bank serialise; this is the quantity the planner
+        minimises the maximum of across banks.
+        """
+        return sum(
+            timing.access_ns(self.spec.kind, nbytes)
+            for nbytes in self.residents.values()
+        )
+
+
+class MemorySystemState:
+    """All banks of one memory system, with aggregate queries."""
+
+    def __init__(self, spec: MemorySystemSpec):
+        self.spec = spec
+        self.banks: dict[int, BankState] = {
+            b.bank_id: BankState(b) for b in spec.banks
+        }
+
+    def __getitem__(self, bank_id: int) -> BankState:
+        return self.banks[bank_id]
+
+    def place(self, bank_id: int, key: object, nbytes: int) -> None:
+        self.banks[bank_id].place(key, nbytes)
+
+    @property
+    def dram_states(self) -> list[BankState]:
+        return [s for s in self.banks.values() if s.spec.kind.is_dram]
+
+    @property
+    def onchip_states(self) -> list[BankState]:
+        return [s for s in self.banks.values() if not s.spec.kind.is_dram]
+
+    def dram_access_rounds(self) -> int:
+        """Max number of resident objects on any single DRAM channel.
+
+        With one vector fetched per resident table per inference, the
+        busiest channel issues this many back-to-back random accesses —
+        the "DRAM access rounds" of the paper's Table 3.
+        """
+        counts = [len(s.residents) for s in self.dram_states]
+        return max(counts, default=0)
+
+    def parallel_lookup_ns(self, timing: MemoryTimingModel) -> float:
+        """Latency for every bank to read each resident object once.
+
+        Banks operate concurrently; the system finishes when the slowest
+        bank does.
+        """
+        return max(
+            (s.serial_read_ns(timing) for s in self.banks.values()),
+            default=0.0,
+        )
+
+    def total_placed_bytes(self) -> int:
+        return sum(s.used_bytes for s in self.banks.values())

@@ -1,0 +1,47 @@
+"""Model zoo: production-scale specs, benchmark family, MLP, workloads."""
+
+from repro.models.spec import (
+    ModelSpec,
+    dlrm_rmc2,
+    production_large,
+    production_small,
+)
+from repro.models.mlp import (
+    FIXED16,
+    FIXED32,
+    PRECISIONS,
+    FixedPointFormat,
+    Mlp,
+    sigmoid,
+)
+from repro.models.workload import QueryBatch, QueryGenerator
+from repro.models.distributions import log_spaced_rows, zipf_indices
+from repro.models.training import (
+    QuantizationReport,
+    SgdTrainer,
+    SyntheticCtrTask,
+    auc_score,
+    train_and_evaluate,
+)
+
+__all__ = [
+    "ModelSpec",
+    "production_small",
+    "production_large",
+    "dlrm_rmc2",
+    "Mlp",
+    "FixedPointFormat",
+    "FIXED16",
+    "FIXED32",
+    "PRECISIONS",
+    "sigmoid",
+    "QueryBatch",
+    "QueryGenerator",
+    "log_spaced_rows",
+    "zipf_indices",
+    "QuantizationReport",
+    "SgdTrainer",
+    "SyntheticCtrTask",
+    "auc_score",
+    "train_and_evaluate",
+]

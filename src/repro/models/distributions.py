@@ -1,0 +1,57 @@
+"""Table-size distribution helpers for synthetic model generation.
+
+Production recommendation models mix table scales wildly (paper section
+2.2): some tables hold ~100 four-dimensional vectors while the largest hold
+hundreds of millions of entries.  The generators in ``repro.models.spec``
+compose models out of explicit *tiers* (tiny merge candidates, on-chip
+cacheable tables, medium tables, huge tables); this module provides the
+row-count ladders those tiers draw from.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+def log_spaced_rows(count: int, lo: int, hi: int) -> list[int]:
+    """``count`` row counts geometrically spaced over ``[lo, hi]``.
+
+    Deterministic (no RNG) so model specs are stable across runs; endpoints
+    are included exactly.
+    """
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+    if lo <= 0 or hi < lo:
+        raise ValueError(f"need 0 < lo <= hi, got lo={lo}, hi={hi}")
+    if count == 1:
+        return [lo]
+    ratio = (hi / lo) ** (1.0 / (count - 1))
+    rows = [int(round(lo * ratio**i)) for i in range(count)]
+    rows[-1] = hi
+    return rows
+
+
+def zipf_indices(
+    rng: np.random.Generator, rows: int, size: int, alpha: float = 1.05
+) -> np.ndarray:
+    """Sample ``size`` row indices with a Zipf-like popularity skew.
+
+    Recommendation lookups are heavily skewed towards popular items; this
+    draws from a truncated Zipf over ``[0, rows)`` (``alpha <= 0`` degrades
+    to uniform).  Used by the workload generator.
+    """
+    if rows <= 0:
+        raise ValueError(f"rows must be positive, got {rows}")
+    if alpha <= 0:
+        return rng.integers(0, rows, size=size, dtype=np.int64)
+    # Inverse-CDF sampling on the continuous approximation of the Zipf
+    # distribution, which is accurate enough for workload skew and O(size).
+    u = rng.random(size)
+    if math.isclose(alpha, 1.0, rel_tol=1e-9):
+        idx = np.exp(u * np.log(rows)) - 1.0
+    else:
+        one_m_a = 1.0 - alpha
+        idx = (u * (rows**one_m_a - 1.0) + 1.0) ** (1.0 / one_m_a) - 1.0
+    return np.clip(idx.astype(np.int64), 0, rows - 1)

@@ -1,0 +1,74 @@
+"""Inference workload (query) generation.
+
+A *query* is one recommendation candidate to score: a dense feature vector
+plus one row index per embedding-table lookup.  The generator draws indices
+with a configurable Zipf skew (popular items dominate real CTR traffic) and
+is fully deterministic under a seed, so functional tests and benchmarks see
+identical streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.models.distributions import zipf_indices
+from repro.models.spec import ModelSpec
+
+
+@dataclass(frozen=True)
+class QueryBatch:
+    """A batch of inference queries.
+
+    ``indices[table_id]`` is an int64 array of shape ``(batch, lookups)``
+    with one row per query and one column per lookup of that table;
+    ``dense`` is ``(batch, dense_dim)`` float32.
+    """
+
+    indices: dict[int, np.ndarray]
+    dense: np.ndarray
+
+    @property
+    def batch_size(self) -> int:
+        return self.dense.shape[0]
+
+    def __len__(self) -> int:
+        return self.batch_size
+
+
+class QueryGenerator:
+    """Deterministic query stream for one model."""
+
+    def __init__(self, model: ModelSpec, seed: int = 0, zipf_alpha: float = 1.05):
+        self.model = model
+        self.seed = seed
+        self.zipf_alpha = zipf_alpha
+        self._rng = np.random.default_rng(seed)
+
+    def reset(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+
+    def batch(self, batch_size: int) -> QueryBatch:
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        indices: dict[int, np.ndarray] = {}
+        for t in self.model.tables:
+            draws = zipf_indices(
+                self._rng,
+                t.rows,
+                batch_size * t.lookups_per_inference,
+                self.zipf_alpha,
+            )
+            indices[t.table_id] = draws.reshape(
+                batch_size, t.lookups_per_inference
+            )
+        dense = self._rng.standard_normal(
+            (batch_size, self.model.dense_dim)
+        ).astype(np.float32)
+        return QueryBatch(indices=indices, dense=dense)
+
+    def batches(self, batch_size: int, count: int) -> Iterator[QueryBatch]:
+        for _ in range(count):
+            yield self.batch(batch_size)

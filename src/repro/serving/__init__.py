@@ -1,0 +1,26 @@
+"""Online-serving substrate: arrival processes, SLA/tail-latency simulation.
+
+Quantifies the paper's serving argument (sections 1, 2.3, 4.1): a CPU
+engine must batch to reach throughput, but batching inflates latency and
+SLAs of tens of milliseconds cap the usable batch size; MicroRec processes
+items one by one through a deep pipeline, so its latency is microseconds at
+*any* load below capacity.
+"""
+
+from repro.serving.arrivals import poisson_arrivals, uniform_arrivals
+from repro.serving.queueing import (
+    BatchedServerSim,
+    PipelineServerSim,
+    ServingResult,
+)
+from repro.serving.sla import SlaReport, sla_capacity_sweep
+
+__all__ = [
+    "poisson_arrivals",
+    "uniform_arrivals",
+    "BatchedServerSim",
+    "PipelineServerSim",
+    "ServingResult",
+    "SlaReport",
+    "sla_capacity_sweep",
+]

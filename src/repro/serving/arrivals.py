@@ -1,0 +1,36 @@
+"""Query arrival processes for the serving simulation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def poisson_arrivals(
+    rng: np.random.Generator, rate_per_s: float, duration_s: float
+) -> np.ndarray:
+    """Arrival timestamps (ns) of a Poisson process over ``duration_s``.
+
+    Recommendation traffic is commonly modelled as Poisson at short
+    timescales (DeepRecSys models query arrival patterns explicitly).
+    """
+    if rate_per_s <= 0:
+        raise ValueError(f"rate_per_s must be positive, got {rate_per_s}")
+    if duration_s <= 0:
+        raise ValueError(f"duration_s must be positive, got {duration_s}")
+    expected = rate_per_s * duration_s
+    # Draw slightly more gaps than needed, then truncate at the horizon.
+    n = int(expected + 6 * np.sqrt(expected) + 16)
+    gaps_ns = rng.exponential(1e9 / rate_per_s, size=n)
+    times = np.cumsum(gaps_ns)
+    return times[times < duration_s * 1e9]
+
+
+def uniform_arrivals(rate_per_s: float, duration_s: float) -> np.ndarray:
+    """Deterministic evenly spaced arrivals (closed-form sanity baseline)."""
+    if rate_per_s <= 0:
+        raise ValueError(f"rate_per_s must be positive, got {rate_per_s}")
+    if duration_s <= 0:
+        raise ValueError(f"duration_s must be positive, got {duration_s}")
+    gap_ns = 1e9 / rate_per_s
+    count = int(duration_s * 1e9 / gap_ns)
+    return np.arange(count, dtype=np.float64) * gap_ns

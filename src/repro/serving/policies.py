@@ -1,0 +1,77 @@
+"""Batching policies for the CPU engine (DeepRecSys-style extension).
+
+Gupta et al. (2020a) showed that scheduling — how queries are grouped into
+batches — materially changes what a CPU/GPU engine can serve under an SLA.
+Two policies beyond the fixed-size batcher of
+:class:`~repro.serving.queueing.BatchedServerSim`:
+
+* **work-conserving**: dispatch whatever is queued the moment the server
+  frees (never waits for a batch to fill).  Lowest latency at light load,
+  but tiny batches waste the engine's batch efficiency;
+* **sla-aware**: grow the batch while the *oldest* query's age plus the
+  predicted batch execution time still fits the SLA — the largest batch
+  that cannot itself break the deadline.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.serving.queueing import BatchedServerSim, ServingResult
+
+
+def work_conserving(
+    batch_latency_ms: Callable[[int], float], max_batch: int = 4096
+) -> BatchedServerSim:
+    """A batcher that never waits: timeout 0, cap ``max_batch``."""
+    return BatchedServerSim(
+        batch_latency_ms, batch_size=max_batch, batch_timeout_ms=0.0
+    )
+
+
+class SlaAwareBatcher:
+    """Grow each batch as far as the SLA budget allows.
+
+    At dispatch time the batch size ``B`` is the largest count of waiting
+    queries such that ``age_of_oldest + exec(B) <= sla_ms`` (at least one
+    query is always taken; an overloaded server degrades rather than
+    starves).
+    """
+
+    def __init__(
+        self,
+        batch_latency_ms: Callable[[int], float],
+        sla_ms: float,
+        max_batch: int = 4096,
+    ):
+        if sla_ms <= 0:
+            raise ValueError(f"sla_ms must be positive, got {sla_ms}")
+        if max_batch <= 0:
+            raise ValueError(f"max_batch must be positive, got {max_batch}")
+        self.batch_latency_ms = batch_latency_ms
+        self.sla_ms = sla_ms
+        self.max_batch = max_batch
+
+    def run(self, arrivals_ns: np.ndarray) -> ServingResult:
+        arrivals = np.sort(np.asarray(arrivals_ns, dtype=np.float64))
+        completions = np.empty_like(arrivals)
+        n = arrivals.size
+        server_free = 0.0
+        i = 0
+        while i < n:
+            dispatch = max(arrivals[i], server_free)
+            waiting = int(np.searchsorted(arrivals, dispatch, side="right")) - i
+            waiting = max(1, min(waiting, self.max_batch, n - i))
+            age_ms = (dispatch - arrivals[i]) / 1e6
+            batch = 1
+            for b in range(waiting, 0, -1):
+                if age_ms + self.batch_latency_ms(b) <= self.sla_ms:
+                    batch = b
+                    break
+            finish = dispatch + self.batch_latency_ms(batch) * 1e6
+            completions[i : i + batch] = finish
+            server_free = finish
+            i += batch
+        return ServingResult(arrivals_ns=arrivals, completions_ns=completions)

@@ -1,0 +1,131 @@
+"""Queueing simulations of the two serving architectures.
+
+:class:`BatchedServerSim` models the CPU engine: queries accumulate into a
+batch that is dispatched when either ``batch_size`` queries are waiting or
+the oldest query has waited ``batch_timeout_ms``; the whole batch completes
+after the engine's batch latency.  Query latency therefore includes the
+*batch assembly wait* — the cost section 4.1 eliminates.
+
+:class:`PipelineServerSim` models MicroRec: items enter the pipeline one by
+one (spacing >= the bottleneck II) and leave one fill-latency later.  No
+assembly wait exists; latency stays near the single-item latency until the
+load approaches pipeline capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ServingResult:
+    """Latency distribution of one serving simulation."""
+
+    arrivals_ns: np.ndarray
+    completions_ns: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.arrivals_ns.shape != self.completions_ns.shape:
+            raise ValueError("arrivals and completions must align")
+        if (self.completions_ns < self.arrivals_ns).any():
+            raise ValueError("a query cannot complete before arriving")
+
+    @property
+    def count(self) -> int:
+        return int(self.arrivals_ns.size)
+
+    @property
+    def latencies_ms(self) -> np.ndarray:
+        return (self.completions_ns - self.arrivals_ns) / 1e6
+
+    def percentile_ms(self, q: float) -> float:
+        return float(np.percentile(self.latencies_ms, q))
+
+    @property
+    def p50_ms(self) -> float:
+        return self.percentile_ms(50)
+
+    @property
+    def p99_ms(self) -> float:
+        return self.percentile_ms(99)
+
+    @property
+    def mean_ms(self) -> float:
+        return float(self.latencies_ms.mean())
+
+    @property
+    def achieved_throughput_per_s(self) -> float:
+        span_ns = float(self.completions_ns.max() - self.arrivals_ns.min())
+        return self.count / (span_ns / 1e9) if span_ns > 0 else float("inf")
+
+
+class BatchedServerSim:
+    """CPU-style server: batch assembly + batched execution.
+
+    ``batch_latency_ms(B)`` supplies the engine's latency for a batch of
+    ``B`` (e.g. ``CpuCostModel.end_to_end_latency_ms``).
+    """
+
+    def __init__(
+        self,
+        batch_latency_ms: Callable[[int], float],
+        batch_size: int,
+        batch_timeout_ms: float = 10.0,
+    ):
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        if batch_timeout_ms < 0:
+            raise ValueError("batch_timeout_ms must be >= 0")
+        self.batch_latency_ms = batch_latency_ms
+        self.batch_size = batch_size
+        self.batch_timeout_ns = batch_timeout_ms * 1e6
+
+    def run(self, arrivals_ns: np.ndarray) -> ServingResult:
+        arrivals = np.sort(np.asarray(arrivals_ns, dtype=np.float64))
+        completions = np.empty_like(arrivals)
+        n = arrivals.size
+        server_free = 0.0
+        i = 0
+        while i < n:
+            first_arrival = arrivals[i]
+            # Dispatch when the batch fills or the oldest query times out,
+            # and no earlier than when the server frees up.
+            fill_idx = min(i + self.batch_size, n) - 1
+            full_at = arrivals[fill_idx] if fill_idx - i + 1 == self.batch_size else np.inf
+            timeout_at = first_arrival + self.batch_timeout_ns
+            dispatch = max(min(full_at, timeout_at), first_arrival, server_free)
+            # Everyone who has arrived by the dispatch instant joins.
+            j = int(np.searchsorted(arrivals, dispatch, side="right"))
+            j = max(j, i + 1)
+            j = min(j, i + self.batch_size, n)
+            batch = j - i
+            finish = dispatch + self.batch_latency_ms(batch) * 1e6
+            completions[i:j] = finish
+            server_free = finish
+            i = j
+        return ServingResult(arrivals_ns=arrivals, completions_ns=completions)
+
+
+class PipelineServerSim:
+    """MicroRec-style server: item-by-item pipelined execution."""
+
+    def __init__(self, single_item_latency_us: float, ii_ns: float):
+        if single_item_latency_us <= 0:
+            raise ValueError("single_item_latency_us must be positive")
+        if ii_ns <= 0:
+            raise ValueError("ii_ns must be positive")
+        self.latency_ns = single_item_latency_us * 1e3
+        self.ii_ns = ii_ns
+
+    def run(self, arrivals_ns: np.ndarray) -> ServingResult:
+        arrivals = np.sort(np.asarray(arrivals_ns, dtype=np.float64))
+        starts = np.empty_like(arrivals)
+        prev = -np.inf
+        for i, t in enumerate(arrivals):
+            prev = max(t, prev + self.ii_ns)
+            starts[i] = prev
+        completions = starts + self.latency_ns
+        return ServingResult(arrivals_ns=arrivals, completions_ns=completions)

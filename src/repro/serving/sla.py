@@ -1,0 +1,101 @@
+"""SLA capacity analysis: tail latency vs offered load.
+
+For each engine, sweep the offered query rate and record p50/p99 latency;
+the *SLA capacity* is the highest rate whose p99 stays under the target
+(tens of milliseconds for recommendations, section 1).  The paper's
+qualitative claim quantified here: the CPU engine trades latency for
+throughput through batching, while MicroRec's latency is flat until its
+pipeline saturates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.serving.arrivals import poisson_arrivals
+from repro.serving.queueing import (
+    BatchedServerSim,
+    PipelineServerSim,
+    ServingResult,
+)
+
+#: "Latency requirements of tens of milliseconds" (section 1).
+DEFAULT_SLA_MS = 30.0
+
+
+@dataclass(frozen=True)
+class SlaReport:
+    """p50/p99 latency per offered rate, plus the SLA capacity."""
+
+    engine: str
+    sla_ms: float
+    rates: tuple[float, ...]
+    p50_ms: tuple[float, ...]
+    p99_ms: tuple[float, ...]
+
+    @property
+    def sla_capacity_per_s(self) -> float:
+        """Highest swept rate whose p99 meets the SLA (0 if none)."""
+        best = 0.0
+        for rate, p99 in zip(self.rates, self.p99_ms):
+            if p99 <= self.sla_ms:
+                best = max(best, rate)
+        return best
+
+    def rows(self) -> list[dict[str, object]]:
+        return [
+            {
+                "engine": self.engine,
+                "rate_per_s": rate,
+                "p50_ms": p50,
+                "p99_ms": p99,
+                "meets_sla": p99 <= self.sla_ms,
+            }
+            for rate, p50, p99 in zip(self.rates, self.p50_ms, self.p99_ms)
+        ]
+
+
+def _sweep(server_run, rates, duration_s, seed) -> tuple[list[float], list[float]]:
+    p50s, p99s = [], []
+    for i, rate in enumerate(rates):
+        rng = np.random.default_rng(seed + i)
+        arrivals = poisson_arrivals(rng, rate, duration_s)
+        if arrivals.size == 0:
+            p50s.append(0.0)
+            p99s.append(0.0)
+            continue
+        result: ServingResult = server_run(arrivals)
+        p50s.append(result.p50_ms)
+        p99s.append(result.p99_ms)
+    return p50s, p99s
+
+
+def sla_capacity_sweep(
+    batched: BatchedServerSim,
+    pipelined: PipelineServerSim,
+    rates: tuple[float, ...],
+    sla_ms: float = DEFAULT_SLA_MS,
+    duration_s: float = 0.5,
+    seed: int = 7,
+) -> dict[str, SlaReport]:
+    """Sweep both engines over the same offered loads."""
+    cpu_p50, cpu_p99 = _sweep(batched.run, rates, duration_s, seed)
+    fpga_p50, fpga_p99 = _sweep(pipelined.run, rates, duration_s, seed)
+    return {
+        "cpu": SlaReport(
+            engine="cpu-batched",
+            sla_ms=sla_ms,
+            rates=tuple(rates),
+            p50_ms=tuple(cpu_p50),
+            p99_ms=tuple(cpu_p99),
+        ),
+        "fpga": SlaReport(
+            engine="fpga-pipelined",
+            sla_ms=sla_ms,
+            rates=tuple(rates),
+            p50_ms=tuple(fpga_p50),
+            p99_ms=tuple(fpga_p99),
+        ),
+    }

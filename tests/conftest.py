@@ -1,0 +1,58 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.tables import TableSpec, make_tables
+from repro.memory.axi import AxiConfig
+from repro.memory.spec import BankKind, BankSpec, MemorySystemSpec, u280_memory_system
+from repro.memory.timing import MemoryTimingModel
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def u280():
+    return u280_memory_system()
+
+
+@pytest.fixture
+def timing(u280):
+    return MemoryTimingModel(axi=u280.axi)
+
+
+@pytest.fixture
+def tiny_memory():
+    """A small hand-built memory system: 4 DRAM channels + 2 on-chip banks."""
+    banks = [
+        BankSpec(0, BankKind.HBM, 1 << 20),
+        BankSpec(1, BankKind.HBM, 1 << 20),
+        BankSpec(2, BankKind.HBM, 1 << 20),
+        BankSpec(3, BankKind.DDR, 8 << 20),
+        BankSpec(4, BankKind.ONCHIP, 8 << 10),
+        BankSpec(5, BankKind.ONCHIP, 8 << 10),
+    ]
+    return MemorySystemSpec(banks=tuple(banks), axi=AxiConfig(), name="tiny")
+
+
+@pytest.fixture
+def small_specs():
+    """Six small tables with mixed sizes (all materialisable)."""
+    return [
+        TableSpec(0, rows=16, dim=4),
+        TableSpec(1, rows=32, dim=4),
+        TableSpec(2, rows=64, dim=8),
+        TableSpec(3, rows=128, dim=8),
+        TableSpec(4, rows=512, dim=16),
+        TableSpec(5, rows=1024, dim=16),
+    ]
+
+
+@pytest.fixture
+def small_tables(small_specs):
+    return make_tables(small_specs, seed=7)

@@ -1,0 +1,159 @@
+"""Unit tests for the related-work baselines, the row cache, and the CLI."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.gpu import GpuCostModel, GpuSpec
+from repro.baselines.nmp import NmpCostModel, NmpSpec
+from repro.cli import main
+from repro.cpu.costmodel import CpuCostModel
+from repro.memory.cache import (
+    LruRowCache,
+    effective_lookup_ns,
+    zipf_hit_rate,
+)
+from repro.models.spec import production_small
+
+
+@pytest.fixture(scope="module")
+def model():
+    return production_small()
+
+
+class TestGpuBaseline:
+    def test_loses_to_cpu_at_small_batch(self, model):
+        """Gupta et al. 2020a: GPUs only win at very large batches."""
+        gpu = GpuCostModel(model)
+        cpu = CpuCostModel(model)
+        assert gpu.end_to_end_latency_ms(1) > cpu.end_to_end_latency_ms(1)
+        assert gpu.end_to_end_latency_ms(64) > cpu.end_to_end_latency_ms(64)
+
+    def test_wins_at_large_batch(self, model):
+        gpu = GpuCostModel(model)
+        cpu = CpuCostModel(model)
+        assert gpu.throughput_items_per_s(8192) > cpu.throughput_items_per_s(
+            8192
+        )
+
+    def test_high_latency_at_winning_batch(self, model):
+        """Even where the GPU wins on throughput, its batch latency is
+        SLA-hostile — the paper's 'GPUs suffer from high latency'."""
+        gpu = GpuCostModel(model)
+        assert gpu.end_to_end_latency_ms(8192) > 30.0
+
+    def test_kernel_overhead_scales_with_tables(self, model):
+        from repro.models.spec import production_large
+
+        small = GpuCostModel(model)
+        large = GpuCostModel(production_large())
+        assert large.op_overhead_ms() > small.op_overhead_ms()
+
+    def test_batch_validation(self, model):
+        with pytest.raises(ValueError):
+            GpuCostModel(model).end_to_end_latency_ms(0)
+
+
+class TestNmpBaseline:
+    def test_accelerates_embedding_layer(self, model):
+        nmp = NmpCostModel(model)
+        cpu = CpuCostModel(model)
+        assert nmp.embedding_latency_ms(2048) < cpu.embedding_latency_ms(2048)
+
+    def test_end_to_end_gain_smaller_than_embedding_gain(self, model):
+        """Amdahl: NMP leaves the MLP and framework costs in place."""
+        nmp = NmpCostModel(model)
+        cpu = CpuCostModel(model)
+        emb_gain = cpu.embedding_latency_ms(2048) / nmp.embedding_latency_ms(2048)
+        e2e_gain = cpu.end_to_end_latency_ms(2048) / nmp.end_to_end_latency_ms(2048)
+        assert e2e_gain < emb_gain
+
+    def test_microrec_still_faster(self, model):
+        from repro.experiments.common import accelerator
+
+        nmp = NmpCostModel(model)
+        fpga = accelerator("small", "fixed16").performance()
+        nmp_per_item_us = nmp.end_to_end_latency_ms(2048) / 2048 * 1e3
+        fpga_per_item_us = fpga.batch_latency_ms(2048) / 2048 * 1e3
+        assert fpga_per_item_us < nmp_per_item_us
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            NmpSpec(lookup_speedup=0.5)
+        with pytest.raises(ValueError):
+            NmpSpec(op_overhead_fraction=1.5)
+
+
+class TestLruRowCache:
+    def test_hits_and_misses(self):
+        cache = LruRowCache(capacity_rows=2)
+        assert not cache.access(1)
+        assert cache.access(1)
+        assert not cache.access(2)
+        assert not cache.access(3)  # evicts 1 (LRU)
+        assert not cache.access(1)
+        assert cache.stats.hit_rate == pytest.approx(1 / 5)
+
+    def test_lru_order_updated_on_hit(self):
+        cache = LruRowCache(capacity_rows=2)
+        cache.access(1)
+        cache.access(2)
+        cache.access(1)  # 1 becomes MRU
+        cache.access(3)  # evicts 2
+        assert cache.access(1)
+        assert not cache.access(2)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            LruRowCache(0)
+
+    def test_zipf_hit_rate_grows_with_skew(self):
+        flat = zipf_hit_rate(rows=10_000, capacity_rows=100, alpha=0.0)
+        skewed = zipf_hit_rate(rows=10_000, capacity_rows=100, alpha=1.2)
+        assert skewed > flat + 0.2
+
+    def test_zipf_hit_rate_grows_with_capacity(self):
+        small = zipf_hit_rate(rows=10_000, capacity_rows=50, alpha=1.05)
+        big = zipf_hit_rate(rows=10_000, capacity_rows=2000, alpha=1.05)
+        assert big > small
+
+    def test_effective_latency(self):
+        assert effective_lookup_ns(0.5, 100.0, 300.0) == pytest.approx(200.0)
+        with pytest.raises(ValueError):
+            effective_lookup_ns(1.5, 1.0, 2.0)
+
+
+class TestCli:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "production models" in out
+        assert "small" in out
+
+    def test_plan_small(self, capsys):
+        assert main(["plan", "small"]) == 0
+        out = capsys.readouterr().out
+        assert "dram_rounds: 1" in out
+
+    def test_plan_no_cartesian(self, capsys):
+        assert main(["plan", "small", "--no-cartesian"]) == 0
+        out = capsys.readouterr().out
+        assert "dram_rounds: 2" in out
+
+    def test_plan_unknown_model(self, capsys):
+        assert main(["plan", "medium"]) == 2
+
+    def test_experiments_single(self, capsys):
+        assert main(["experiments", "table5"]) == 0
+        out = capsys.readouterr().out
+        assert "table5" in out
+
+    def test_experiments_unknown(self, capsys):
+        assert main(["experiments", "table99"]) == 2
+
+    def test_fleet(self, capsys):
+        assert main(["fleet", "small", "100000"]) == 0
+        out = capsys.readouterr().out
+        assert "fpga" in out and "cpu" in out
+
+    def test_fleet_unknown_model(self, capsys):
+        assert main(["fleet", "tiny", "1000"]) == 2

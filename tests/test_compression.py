@@ -1,0 +1,101 @@
+"""Tests for int8 embedding-table compression."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.compression import QuantizedTable, compressed_spec
+from repro.core.tables import MaterializedTable, TableSpec, VirtualTable
+
+
+@pytest.fixture
+def table(rng):
+    spec = TableSpec(0, rows=512, dim=16)
+    values = (rng.standard_normal((512, 16)) * 0.3).astype(np.float32)
+    return MaterializedTable(spec, values)
+
+
+class TestCompressedSpec:
+    def test_payload_shrinks_4x(self):
+        spec = TableSpec(0, rows=1000, dim=32)
+        comp = compressed_spec(spec)
+        # 32 fp32 elements (128 B) -> 32 code bytes + 4 scale bytes.
+        assert comp.vector_bytes == 36
+        assert spec.vector_bytes == 128
+        assert comp.nbytes < spec.nbytes / 3
+
+    def test_identity_fields_preserved(self):
+        spec = TableSpec(7, rows=10, dim=4, lookups_per_inference=4)
+        comp = compressed_spec(spec)
+        assert comp.table_id == 7
+        assert comp.rows == 10
+        assert comp.lookups_per_inference == 4
+
+
+class TestQuantizedTable:
+    def test_error_within_bound(self, table):
+        q = QuantizedTable.compress(table)
+        idx = np.arange(table.spec.rows)
+        err = np.abs(q.lookup(idx) - table.lookup(idx))
+        per_row_bound = q.scales[:, None] / 2 + 1e-6
+        assert (err <= per_row_bound).all()
+        assert err.max() <= q.error_bound() + 1e-6
+
+    def test_compression_ratio(self, table):
+        q = QuantizedTable.compress(table)
+        report = q.report(table)
+        assert report.ratio > 3.0
+        assert report.max_abs_error < 0.01  # values ~N(0, 0.3)
+
+    def test_zero_rows_stay_zero(self):
+        spec = TableSpec(0, rows=4, dim=4)
+        table = MaterializedTable(spec, np.zeros((4, 4), dtype=np.float32))
+        q = QuantizedTable.compress(table)
+        np.testing.assert_array_equal(q.lookup(np.arange(4)), 0.0)
+
+    def test_virtual_table_streams_in_blocks(self):
+        spec = TableSpec(3, rows=1000, dim=8)
+        virt = VirtualTable(spec, seed=0)
+        q = QuantizedTable.compress(virt, block_rows=128)
+        idx = np.array([0, 127, 128, 999])
+        err = np.abs(q.lookup(idx) - virt.lookup(idx)).max()
+        assert err <= q.error_bound() + 1e-6
+
+    def test_bounds_checked(self, table):
+        q = QuantizedTable.compress(table)
+        with pytest.raises(IndexError):
+            q.lookup(np.array([table.spec.rows]))
+
+    def test_shape_validation(self, table):
+        with pytest.raises(ValueError):
+            QuantizedTable(
+                table.spec,
+                np.zeros((2, 2), dtype=np.int8),
+                np.ones(table.spec.rows, dtype=np.float32),
+            )
+        with pytest.raises(ValueError):
+            QuantizedTable(
+                table.spec,
+                np.zeros((512, 16), dtype=np.int16),  # wrong dtype
+                np.ones(512, dtype=np.float32),
+            )
+
+
+@given(
+    rows=st.integers(1, 64),
+    dim=st.integers(1, 16),
+    scale=st.floats(0.01, 100.0),
+    seed=st.integers(0, 50),
+)
+@settings(max_examples=60, deadline=None)
+def test_quantisation_error_property(rows, dim, scale, seed):
+    """|dequantised - original| <= row_scale / 2, for any value range."""
+    rng = np.random.default_rng(seed)
+    spec = TableSpec(0, rows=rows, dim=dim)
+    values = (rng.standard_normal((rows, dim)) * scale).astype(np.float32)
+    table = MaterializedTable(spec, values)
+    q = QuantizedTable.compress(table)
+    idx = np.arange(rows)
+    err = np.abs(q.lookup(idx) - values)
+    assert (err <= q.scales[:, None] / 2 + 1e-4 * scale).all()

@@ -1,0 +1,91 @@
+"""Unit tests for the queued DRAM channel simulator."""
+
+import numpy as np
+import pytest
+
+from repro.memory.dramsim import (
+    DramChannelSim,
+    DramTimingParams,
+    simulate_table_lookups,
+)
+
+
+@pytest.fixture
+def sim():
+    return DramChannelSim(DramTimingParams())
+
+
+class TestDramChannelSim:
+    def test_first_access_misses(self, sim):
+        sim.access(0, 16)
+        assert sim.stats.misses == 1
+        assert sim.stats.hits == 0
+
+    def test_same_row_hits(self, sim):
+        sim.access(0, 16)
+        latency = sim.access(64, 16)  # same 1 KiB row
+        assert sim.stats.hits == 1
+        assert latency < sim.params.miss_ns(16)
+
+    def test_row_conflict_costs_most(self, sim):
+        p = sim.params
+        row_stride = p.row_bytes * p.banks_per_channel  # same bank, new row
+        sim.access(0, 16)
+        conflict_latency = sim.access(row_stride, 16)
+        assert sim.stats.conflicts == 1
+        assert conflict_latency > p.miss_ns(16)
+
+    def test_different_banks_do_not_conflict(self, sim):
+        sim.access(0, 16)
+        sim.access(sim.params.row_bytes, 16)  # next row maps to next bank
+        assert sim.stats.conflicts == 0
+
+    def test_refresh_stalls_accumulate(self, sim):
+        # Enough traffic to pass several tREFI windows.
+        for addr in range(0, 200 * 1024, 1024):
+            sim.access(addr, 64)
+        assert sim.stats.refresh_stalls > 0
+
+    def test_mean_latency_near_calibrated_model(self, sim):
+        """Uniform random rows over a big table: the simulated mean access
+        must land near the analytical ~313 ns + burst (within 15%)."""
+        rng = np.random.default_rng(0)
+        addrs = rng.integers(0, 1 << 30, size=2000) // 16 * 16
+        sim.run_trace(addrs, 16)
+        assert sim.stats.mean_access_ns == pytest.approx(313 + 16 * 1.315, rel=0.15)
+
+    def test_reset(self, sim):
+        sim.access(0, 16)
+        sim.reset()
+        assert sim.stats.accesses == 0
+
+
+class TestSimulateTableLookups:
+    def test_uniform_traffic_mostly_misses(self):
+        """Paper section 1: lookups are 'nearly random rather than
+        sequential' — uniform indices over a large table barely hit."""
+        rng = np.random.default_rng(1)
+        stats = simulate_table_lookups(
+            rows=1_000_000, vector_bytes=32, accesses=5000, rng=rng
+        )
+        assert stats.hit_rate < 0.05
+
+    def test_skewed_traffic_hits_open_rows(self):
+        rng = np.random.default_rng(1)
+        uniform = simulate_table_lookups(
+            rows=10_000, vector_bytes=32, accesses=5000, rng=rng
+        )
+        rng = np.random.default_rng(1)
+        skewed = simulate_table_lookups(
+            rows=10_000, vector_bytes=32, accesses=5000, rng=rng, zipf_alpha=1.4
+        )
+        assert skewed.hit_rate > uniform.hit_rate
+
+    def test_tiny_table_rehits(self):
+        """A 16-row table lives in a handful of rows: high hit rate — the
+        on-chip-caching intuition in DRAM form."""
+        rng = np.random.default_rng(2)
+        stats = simulate_table_lookups(
+            rows=16, vector_bytes=16, accesses=2000, rng=rng
+        )
+        assert stats.hit_rate > 0.5

@@ -1,0 +1,52 @@
+"""Tests for engine-level table compression (compress_tables=True)."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import MicroRecEngine
+from repro.models.spec import production_small
+from repro.models.workload import QueryGenerator
+
+
+@pytest.fixture(scope="module")
+def scaled_model():
+    return production_small().scaled(max_rows=2048)
+
+
+@pytest.fixture(scope="module")
+def engines(scaled_model):
+    plain = MicroRecEngine.build(scaled_model, seed=4)
+    compressed = MicroRecEngine.build(scaled_model, seed=4, compress_tables=True)
+    return plain, compressed
+
+
+class TestCompressedEngine:
+    def test_planner_sees_compressed_footprint(self, engines):
+        plain, compressed = engines
+        assert (
+            compressed.plan.placement.storage_bytes
+            < plain.plan.placement.storage_bytes / 2
+        )
+
+    def test_lookup_latency_not_worse(self, engines):
+        plain, compressed = engines
+        assert compressed.plan.lookup_latency_ns <= plain.plan.lookup_latency_ns
+
+    def test_embeddings_close_to_uncompressed(self, engines, scaled_model):
+        plain, compressed = engines
+        batch = QueryGenerator(scaled_model, seed=9).batch(32)
+        a = plain.lookup_embeddings(batch)
+        b = compressed.lookup_embeddings(batch)
+        assert a.shape == b.shape
+        # int8 per-row quantisation of values in [-1, 1): error < 1/127.
+        assert np.abs(a - b).max() < 1.0 / 100
+
+    def test_predictions_rank_identically(self, engines, scaled_model):
+        plain, compressed = engines
+        batch = QueryGenerator(scaled_model, seed=9).batch(64)
+        corr = np.corrcoef(plain.infer(batch), compressed.infer(batch))[0, 1]
+        assert corr > 0.999
+
+    def test_full_model_rejected(self):
+        with pytest.raises(ValueError):
+            MicroRecEngine.build(production_small(), compress_tables=True)

@@ -1,0 +1,203 @@
+"""Tests for the experiment harness: every table/figure regenerates and
+reproduces the paper's qualitative claims."""
+
+import pytest
+
+from repro.experiments import paper_data
+from repro.experiments import (
+    cost,
+    figure3,
+    figure7,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+)
+from repro.experiments.harness import EXPERIMENTS, render_all, run_all
+from repro.experiments.report import ExperimentResult, render_table
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_all()
+
+
+class TestHarness:
+    def test_all_experiments_present(self):
+        paper = {
+            "figure3",
+            "table2",
+            "table3",
+            "table4",
+            "table5",
+            "figure7",
+            "table6",
+            "cost",
+        }
+        extensions = {
+            "queuing",
+            "serving_sla",
+            "quantization",
+            "related_work",
+            "compression",
+            "cache_study",
+        }
+        assert set(EXPERIMENTS) == paper | extensions
+
+    def test_every_experiment_has_rows(self, results):
+        for name, result in results.items():
+            assert isinstance(result, ExperimentResult)
+            assert result.rows, name
+
+    def test_render_all(self, results):
+        text = render_all(results)
+        for name in EXPERIMENTS:
+            assert name in text
+
+    def test_render_table_formats(self, results):
+        text = render_table(results["table3"])
+        assert "dram_rounds" in text
+        assert "note:" in text
+
+
+class TestFigure3:
+    def test_embedding_dominates(self, results):
+        for row in results["figure3"].rows:
+            assert row["embedding_share"] > 0.5
+            # Within 15 percentage points of the paper's share.
+            assert abs(row["embedding_share"] - row["paper_share"]) < 0.15
+
+
+class TestTable2:
+    def test_speedup_range(self, results):
+        lo, hi = table2.speedup_range(results["table2"])
+        # Paper: 2.5-5.4x.  Same order, overlapping range.
+        assert 2.0 < lo < 3.0
+        assert 3.5 < hi < 6.0
+
+    def test_fpga_beats_cpu_everywhere(self, results):
+        for row in results["table2"].rows:
+            if "speedup_vs_cpu_b2048" in row:
+                assert row["speedup_vs_cpu_b2048"] > 2.0
+
+    def test_microsecond_latency(self, results):
+        for row in results["table2"].rows:
+            if str(row["engine"]).startswith("FPGA"):
+                assert row["latency_ms"] < 0.05  # tens of microseconds
+            else:
+                assert row["latency_ms"] > 3.0  # milliseconds
+
+
+class TestTable3:
+    def _row(self, results, model, cartesian):
+        for row in results["table3"].rows:
+            if row["model"] == model and row["cartesian"] == cartesian:
+                return row
+        raise AssertionError("row missing")
+
+    @pytest.mark.parametrize("model", ["small", "large"])
+    def test_rounds_match_paper_exactly(self, results, model):
+        for label in ("without", "with"):
+            row = self._row(results, model, label)
+            assert row["dram_rounds"] == row["paper_rounds"]
+
+    @pytest.mark.parametrize("model", ["small", "large"])
+    def test_storage_overhead_marginal(self, results, model):
+        row = self._row(results, model, "with")
+        assert 1.0 < row["storage_rel"] < 1.04
+
+    @pytest.mark.parametrize("model", ["small", "large"])
+    def test_latency_ratio_close_to_paper(self, results, model):
+        row = self._row(results, model, "with")
+        assert row["latency_rel"] == pytest.approx(
+            row["paper_latency_rel"], abs=0.13
+        )
+
+
+class TestTable4:
+    def test_cartesian_beats_hbm_only(self, results):
+        speedups = table4.speedups_at(results["table4"], 2048)
+        for model, s in speedups.items():
+            assert s["cartesian"] > s["hbm"]
+
+    def test_b2048_speedups_same_order_as_paper(self, results):
+        speedups = table4.speedups_at(results["table4"], 2048)
+        assert speedups["small"]["cartesian"] == pytest.approx(13.82, rel=0.15)
+        assert speedups["large"]["cartesian"] == pytest.approx(14.70, rel=0.15)
+
+    def test_cartesian_extra_factor(self, results):
+        """Contribution 2: Cartesian adds 1.39-1.69x on top of HBM."""
+        speedups = table4.speedups_at(results["table4"], 2048)
+        for s in speedups.values():
+            extra = s["cartesian"] / s["hbm"]
+            assert 1.2 < extra < 1.8
+
+
+class TestTable5:
+    def test_lookup_latencies_within_5pct(self, results):
+        for row in results["table5"].rows:
+            assert row["lookup_ns"] == pytest.approx(
+                row["paper_lookup_ns"], rel=0.05
+            )
+
+    def test_speedup_extremes(self, results):
+        rows = results["table5"].rows
+        best = max(r["speedup"] for r in rows)
+        worst = min(r["speedup"] for r in rows)
+        # Paper: 18.7-72.4x; keep the same order and orientation.
+        assert 60 < best < 90
+        assert 15 < worst < 30
+
+    def test_best_case_is_8_tables_dim4(self, results):
+        rows = results["table5"].rows
+        best = max(rows, key=lambda r: r["speedup"])
+        assert (best["tables"], best["dim"]) == (8, 4)
+
+    def test_worst_case_is_12_tables_dim64(self, results):
+        rows = results["table5"].rows
+        worst = min(rows, key=lambda r: r["speedup"])
+        assert (worst["tables"], worst["dim"]) == (12, 64)
+
+
+class TestFigure7:
+    def test_flat_then_decay(self, results):
+        for model in ("small", "large"):
+            series = {
+                r["rounds"]: r["relative"]
+                for r in results["figure7"].rows
+                if r["model"] == model
+            }
+            assert series[2] == pytest.approx(1.0)
+            assert series[10] < 0.85
+            # Monotone non-increasing.
+            vals = [series[r] for r in sorted(series)]
+            assert all(a >= b - 1e-9 for a, b in zip(vals, vals[1:]))
+
+    def test_tolerated_rounds_close_to_paper(self, results):
+        for row in results["figure7"].rows:
+            assert abs(row["tolerated_rounds"] - row["paper_tolerated"]) <= 2
+
+    def test_small_tolerates_more_than_large(self, results):
+        tol = {
+            r["model"]: r["tolerated_rounds"] for r in results["figure7"].rows
+        }
+        assert tol["small"] >= tol["large"]
+
+
+class TestTable6:
+    def test_totals_within_3pct(self, results):
+        for row in results["table6"].rows:
+            for res in ("bram", "dsp", "ff", "lut", "uram"):
+                assert row[res] == pytest.approx(row[f"paper_{res}"], rel=0.03)
+
+    def test_frequencies_exact(self, results):
+        for row in results["table6"].rows:
+            assert row["freq_mhz"] == row["paper_freq"]
+
+
+class TestCost:
+    def test_fpga_cheaper_per_inference(self, results):
+        for row in results["cost"].rows:
+            if str(row["engine"]).startswith("FPGA"):
+                assert row["cost_ratio_vs_cpu"] < 1.0

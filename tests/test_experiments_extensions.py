@@ -1,0 +1,103 @@
+"""Tests for the extension experiments: queuing, serving SLA, quantisation,
+related work."""
+
+import pytest
+
+from repro.experiments import quantization, queuing, related_work, serving_sla
+
+
+class TestQueuingExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return queuing.run()
+
+    def test_four_configurations(self, result):
+        assert len(result.rows) == 4
+
+    def test_cartesian_benefit_survives_queuing(self, result):
+        """The merging win must come from access-count reduction, not from
+        the idealised timing model."""
+        for row in result.rows:
+            if "cartesian_benefit_queued" in row:
+                ideal = row["cartesian_benefit_ideal"]
+                queued = row["cartesian_benefit_queued"]
+                assert queued < 0.95  # still a real improvement
+                assert queued == pytest.approx(ideal, abs=0.1)
+
+    def test_queued_close_to_ideal(self, result):
+        """The calibrated analytical model already absorbs most controller
+        cost; the queued simulation stays within 20%."""
+        for row in result.rows:
+            assert row["queuing_penalty"] == pytest.approx(1.0, abs=0.2)
+
+
+class TestServingSlaExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return serving_sla.run()
+
+    def _capacity_row(self, result):
+        return next(r for r in result.rows if r["engine"] == "sla-capacity")
+
+    def test_fpga_capacity_far_exceeds_cpu(self, result):
+        cap = self._capacity_row(result)
+        assert cap["fpga_capacity_per_s"] >= 5 * cap["cpu_capacity_per_s"]
+
+    def test_fpga_sub_millisecond_tails(self, result):
+        for row in result.rows:
+            if row["engine"] == "fpga-pipelined":
+                assert row["p99_ms"] < 1.0
+
+    def test_cpu_millisecond_floors(self, result):
+        """Batching puts a multi-millisecond floor under CPU latency even
+        at trivial load — the paper's section 4.1 point."""
+        light = [
+            r
+            for r in result.rows
+            if r["engine"] == "cpu-batched" and r["rate_per_s"] == 1_000
+        ][0]
+        assert light["p50_ms"] > 3.0
+
+
+class TestQuantizationExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return quantization.run()
+
+    def test_model_learns(self, result):
+        fp32 = next(r for r in result.rows if r["precision"] == "fp32")
+        assert fp32["auc"] > 0.62
+
+    def test_fixed_point_drops_negligible(self, result):
+        for row in result.rows:
+            if row["precision"] != "fp32":
+                assert abs(row["auc_drop_vs_fp32"]) < 5e-3
+
+
+class TestRelatedWorkExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return related_work.run()
+
+    def test_gpu_crossover_exists(self, result):
+        """GPU slower than CPU at some small batch, faster at some large
+        batch — the DeepRecSys observation."""
+        rows = {r["batch"]: r for r in result.rows if r["batch"] != "microrec"}
+        assert rows[64]["gpu_ms"] > rows[64]["cpu_ms"]
+        assert rows[8192]["gpu_items_s"] > rows[8192]["cpu_items_s"]
+
+    def test_nmp_between_cpu_and_microrec(self, result):
+        rows = {r["batch"]: r for r in result.rows if r["batch"] != "microrec"}
+        micro = next(r for r in result.rows if r["batch"] == "microrec")
+        assert rows[2048]["nmp_items_s"] > rows[2048]["cpu_items_s"]
+        assert micro["fpga_items_s"] > rows[2048]["nmp_items_s"]
+
+    def test_microrec_lowest_latency(self, result):
+        micro = next(r for r in result.rows if r["batch"] == "microrec")
+        others = [
+            r[k]
+            for r in result.rows
+            if r["batch"] != "microrec"
+            for k in ("cpu_ms", "gpu_ms", "nmp_ms")
+        ]
+        assert micro["fpga_latency_ms"] < min(others) / 10

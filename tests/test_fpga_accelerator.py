@@ -1,0 +1,107 @@
+"""Unit tests for the assembled accelerator model against Table 2."""
+
+import pytest
+
+from repro.core.planner import plan_tables
+from repro.experiments import paper_data
+from repro.experiments.common import accelerator
+from repro.fpga.accelerator import FpgaAcceleratorModel, FpgaConfig
+from repro.memory.spec import u280_memory_system
+from repro.memory.timing import default_timing_model
+from repro.models.spec import production_small
+
+
+class TestFpgaConfig:
+    def test_default_is_paper_shape(self):
+        cfg = FpgaConfig()
+        assert cfg.precision == "fixed16"
+        assert cfg.pes_per_layer == (128, 128, 32)
+        assert cfg.lanes_per_pe == 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FpgaConfig(precision="fp8")
+        with pytest.raises(ValueError):
+            FpgaConfig(pes_per_layer=())
+
+
+class TestAcceleratorPerformance:
+    @pytest.mark.parametrize(
+        "name,precision",
+        [(n, p) for n in ("small", "large") for p in ("fixed16", "fixed32")],
+    )
+    def test_latency_matches_table2(self, name, precision):
+        """Single-item latency within 10% of the paper's measurement."""
+        perf = accelerator(name, precision).performance()
+        expected_us = paper_data.TABLE2[name]["fpga_latency_ms"][precision] * 1e3
+        assert perf.single_item_latency_us == pytest.approx(expected_us, rel=0.10)
+
+    @pytest.mark.parametrize(
+        "name,precision",
+        [(n, p) for n in ("small", "large") for p in ("fixed16", "fixed32")],
+    )
+    def test_throughput_matches_table2(self, name, precision):
+        """Throughput within 25% of the paper (same bottleneck structure)."""
+        perf = accelerator(name, precision).performance()
+        expected = paper_data.TABLE2[name]["fpga_throughput_items"][precision]
+        assert perf.throughput_items_per_s == pytest.approx(expected, rel=0.25)
+
+    def test_microsecond_latency_claim(self):
+        """Headline: 16.3-31.0 us, 3-4 orders below tens-of-ms SLAs."""
+        for name in ("small", "large"):
+            for precision in ("fixed16", "fixed32"):
+                us = accelerator(name, precision).performance().single_item_latency_us
+                assert 10.0 < us < 40.0
+
+    def test_fixed16_faster_than_fixed32(self):
+        for name in ("small", "large"):
+            f16 = accelerator(name, "fixed16").performance()
+            f32 = accelerator(name, "fixed32").performance()
+            assert f16.throughput_items_per_s > f32.throughput_items_per_s
+
+    def test_bottleneck_is_compute_not_memory(self):
+        """Section 5.4: with HBM + Cartesian 'the bottleneck shifts back to
+        computation'."""
+        perf = accelerator("small", "fixed16").performance()
+        assert "gemm" in perf.bottleneck_stage
+
+    def test_throughput_not_reciprocal_of_latency(self):
+        """Table 2 note: multiple items are in flight simultaneously."""
+        perf = accelerator("small", "fixed16").performance()
+        reciprocal = 1e6 / perf.single_item_latency_us
+        assert perf.throughput_items_per_s > 2 * reciprocal
+
+    def test_batch_latency_amortisation(self):
+        perf = accelerator("small", "fixed16").performance()
+        per_item_2048 = perf.batch_latency_ms(2048) / 2048 * 1e6  # ns
+        assert per_item_2048 == pytest.approx(perf.ii_ns, rel=0.05)
+
+    def test_multi_round_lookups_degrade_gracefully(self):
+        """Figure 7 mechanism: rounds are free until lookup II exceeds the
+        GEMM bottleneck, then throughput decays."""
+        acc = accelerator("small", "fixed16")
+        base = acc.performance(lookup_rounds=1).throughput_items_per_s
+        mid = acc.performance(lookup_rounds=4).throughput_items_per_s
+        deep = acc.performance(lookup_rounds=10).throughput_items_per_s
+        assert mid == pytest.approx(base)
+        assert deep < 0.9 * base
+
+    def test_gops_consistent_with_items(self):
+        acc = accelerator("small", "fixed16")
+        perf = acc.performance()
+        expected = perf.throughput_items_per_s * acc.model.ops_per_inference / 1e9
+        assert perf.throughput_gops == pytest.approx(expected)
+
+    def test_custom_pe_allocation(self):
+        """More PEs on the bottleneck layer raises throughput."""
+        memory = u280_memory_system()
+        timing = default_timing_model(memory.axi)
+        model = production_small()
+        plan = plan_tables(model.tables, memory, timing)
+        narrow = FpgaAcceleratorModel(
+            model, plan.placement, timing, FpgaConfig(pes_per_layer=(64, 64, 32))
+        ).performance()
+        wide = FpgaAcceleratorModel(
+            model, plan.placement, timing, FpgaConfig(pes_per_layer=(256, 256, 64))
+        ).performance()
+        assert wide.throughput_items_per_s > narrow.throughput_items_per_s

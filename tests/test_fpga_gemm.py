@@ -1,0 +1,70 @@
+"""Unit tests for the PE-array GEMM cycle model."""
+
+import math
+
+import pytest
+
+from repro.fpga.gemm import GemmStageModel, PeArrayConfig
+
+
+class TestPeArrayConfig:
+    def test_macs_per_cycle(self):
+        assert PeArrayConfig(128, 10).macs_per_cycle == 1280
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PeArrayConfig(0, 10)
+        with pytest.raises(ValueError):
+            PeArrayConfig(128, 0)
+
+
+class TestGemmStageModel:
+    @pytest.fixture
+    def layer(self):
+        # The small model's second FC layer on the paper's 128-PE array.
+        return GemmStageModel(
+            in_dim=1024,
+            out_dim=512,
+            pe_array=PeArrayConfig(128, 10),
+            clock_mhz=120.0,
+        )
+
+    def test_compute_cycles(self, layer):
+        assert layer.compute_cycles == math.ceil(1024 * 512 / 1280)
+
+    def test_movement_cycles(self, layer):
+        assert layer.broadcast_cycles == 1024 // 16
+        assert layer.gather_cycles == 512 // 16
+
+    def test_three_stages(self, layer):
+        stages = layer.stages("fc1")
+        assert [s.name for s in stages] == [
+            "fc1/broadcast",
+            "fc1/gemm",
+            "fc1/gather",
+        ]
+
+    def test_ii_excludes_overhead(self, layer):
+        gemm = layer.stages("fc1")[1]
+        assert gemm.ii_ns == pytest.approx(layer.compute_cycles * layer.cycle_ns)
+        assert gemm.latency_ns == pytest.approx(
+            (layer.compute_cycles + layer.stage_overhead_cycles) * layer.cycle_ns
+        )
+
+    def test_more_lanes_fewer_cycles(self):
+        fp16 = GemmStageModel(512, 512, PeArrayConfig(128, 10), 120.0)
+        fp32 = GemmStageModel(512, 512, PeArrayConfig(128, 5), 120.0)
+        assert fp32.compute_cycles == pytest.approx(2 * fp16.compute_cycles, abs=1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GemmStageModel(0, 10, PeArrayConfig(1, 1), 100.0)
+        with pytest.raises(ValueError):
+            GemmStageModel(10, 10, PeArrayConfig(1, 1), 0.0)
+
+    def test_paper_bottleneck_magnitude(self):
+        """Section 5.4: 'the most expensive stage takes several
+        microseconds' once lookups are sub-microsecond."""
+        layer = GemmStageModel(1024, 512, PeArrayConfig(128, 10), 120.0)
+        gemm_us = layer.stages("fc")[1].latency_ns / 1e3
+        assert 2.0 < gemm_us < 6.0

@@ -1,0 +1,111 @@
+"""Unit tests for the lookup unit timing and the resource model."""
+
+import pytest
+
+from repro.core.planner import plan_tables
+from repro.core.tables import TableSpec
+from repro.experiments import paper_data
+from repro.fpga.lookup import placement_lookup_stage, replicated_lookup_ns
+from repro.fpga.resources import (
+    U280_TOTALS,
+    achieved_frequency_mhz,
+    estimate_resources,
+    weight_uram_blocks,
+)
+from repro.memory.spec import u280_memory_system
+from repro.memory.timing import default_timing_model
+
+
+class TestReplicatedLookup:
+    def test_round_structure(self, timing):
+        one = replicated_lookup_ns(32, 16, 32, timing)
+        two = replicated_lookup_ns(33, 16, 32, timing)
+        assert two == pytest.approx(2 * one)
+
+    def test_matches_table5_within_5pct(self, timing):
+        """Every Table 5 lookup latency reproduced within 5%."""
+        for (tables, dim), row in paper_data.TABLE5.items():
+            ours = replicated_lookup_ns(tables * 4, dim * 4, 32, timing)
+            assert ours == pytest.approx(row["lookup_ns"], rel=0.05), (tables, dim)
+
+    def test_validation(self, timing):
+        with pytest.raises(ValueError):
+            replicated_lookup_ns(0, 16, 32, timing)
+        with pytest.raises(ValueError):
+            replicated_lookup_ns(32, 16, 0, timing)
+
+
+class TestPlacementLookupStage:
+    def test_stage_matches_placement_latency(self):
+        memory = u280_memory_system()
+        timing = default_timing_model(memory.axi)
+        specs = [TableSpec(i, rows=1000, dim=8) for i in range(10)]
+        plan = plan_tables(specs, memory, timing)
+        stage = placement_lookup_stage(plan.placement, timing)
+        assert stage.latency_ns == pytest.approx(plan.lookup_latency_ns)
+        assert stage.ii_ns == stage.latency_ns
+
+    def test_rounds_validation(self):
+        memory = u280_memory_system()
+        timing = default_timing_model(memory.axi)
+        specs = [TableSpec(0, rows=10, dim=4)]
+        plan = plan_tables(specs, memory, timing)
+        with pytest.raises(ValueError):
+            placement_lookup_stage(plan.placement, timing, lookup_rounds=0)
+
+
+SMALL_DIMS = [(352, 1024), (1024, 512), (512, 256)]
+LARGE_DIMS = [(876, 1024), (1024, 512), (512, 256)]
+PES = [128, 128, 32]
+
+
+class TestResources:
+    @pytest.mark.parametrize(
+        "name,feat,dims,precision",
+        [
+            ("small", 352, SMALL_DIMS, "fixed16"),
+            ("small", 352, SMALL_DIMS, "fixed32"),
+            ("large", 876, LARGE_DIMS, "fixed16"),
+            ("large", 876, LARGE_DIMS, "fixed32"),
+        ],
+    )
+    def test_against_table6(self, name, feat, dims, precision):
+        """Totals within 3% of the paper's post-synthesis numbers."""
+        report = estimate_resources(feat, dims, PES, precision)
+        paper = paper_data.TABLE6[(name, precision)]
+        assert report.frequency_mhz == paper["freq_mhz"]
+        for res in ("bram", "dsp", "ff", "lut", "uram"):
+            assert getattr(report, res) == pytest.approx(paper[res], rel=0.03), res
+
+    def test_design_fits_device(self):
+        report = estimate_resources(876, LARGE_DIMS, PES, "fixed32")
+        assert report.fits()
+        assert report.max_utilisation() > 0.5  # a genuinely big design
+
+    def test_utilisation_fractions(self):
+        report = estimate_resources(352, SMALL_DIMS, PES, "fixed16")
+        util = report.utilisation()
+        assert util["bram"] == pytest.approx(report.bram / U280_TOTALS["bram"])
+        # Paper: BRAM ~78%, URAM ~66% for this build.
+        assert 0.7 < util["bram"] < 0.85
+        assert 0.6 < util["uram"] < 0.75
+
+    def test_weight_uram_double_buffered(self):
+        # One layer, 128 PEs, slices below one URAM block -> 2 blocks/PE.
+        blocks = weight_uram_blocks([(352, 1024)], [128], "fixed16")
+        assert blocks == 2 * 128
+
+    def test_unknown_precision_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_resources(352, SMALL_DIMS, PES, "fp64")
+        with pytest.raises(ValueError):
+            achieved_frequency_mhz("fp64", 352)
+
+    def test_pe_layer_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_resources(352, SMALL_DIMS, [128, 128], "fixed16")
+
+    def test_frequency_model(self):
+        assert achieved_frequency_mhz("fixed16", 352) == 120.0
+        assert achieved_frequency_mhz("fixed32", 352) == 140.0
+        assert achieved_frequency_mhz("fixed32", 876) == 135.0

@@ -1,0 +1,65 @@
+"""Unit tests for the dataflow pipeline model."""
+
+import pytest
+
+from repro.fpga.pipeline import PipelineModel, PipelineStage
+
+
+class TestPipelineStage:
+    def test_ii_defaults_to_latency(self):
+        s = PipelineStage("s", 100.0)
+        assert s.ii_ns == 100.0
+
+    def test_ii_cannot_exceed_latency(self):
+        with pytest.raises(ValueError):
+            PipelineStage("s", 100.0, 150.0)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            PipelineStage("s", -1.0)
+
+
+class TestPipelineModel:
+    @pytest.fixture
+    def pipe(self):
+        return PipelineModel(
+            [
+                PipelineStage("lookup", 400.0, 400.0),
+                PipelineStage("fc0", 3000.0, 2500.0),
+                PipelineStage("fc1", 3500.0, 3000.0),
+            ]
+        )
+
+    def test_single_item_latency_is_sum(self, pipe):
+        assert pipe.single_item_latency_ns == pytest.approx(6900.0)
+
+    def test_ii_is_bottleneck(self, pipe):
+        assert pipe.ii_ns == 3000.0
+        assert pipe.bottleneck.name == "fc1"
+
+    def test_throughput(self, pipe):
+        assert pipe.throughput_items_per_s == pytest.approx(1e9 / 3000.0)
+
+    def test_batch_latency(self, pipe):
+        # fill + (n-1) * II
+        assert pipe.batch_latency_ns(1) == pytest.approx(6900.0)
+        assert pipe.batch_latency_ns(10) == pytest.approx(6900.0 + 9 * 3000.0)
+
+    def test_batch_amortises_fill(self, pipe):
+        """Per-item batch time approaches II for large batches — the
+        mechanism behind the paper's Table 2 speedup definition."""
+        per_item = pipe.batch_latency_ns(100_000) / 100_000
+        assert per_item == pytest.approx(pipe.ii_ns, rel=0.001)
+
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(ValueError):
+            PipelineModel([])
+
+    def test_batch_size_validation(self, pipe):
+        with pytest.raises(ValueError):
+            pipe.batch_latency_ns(0)
+
+    def test_item_by_item_beats_batching_on_latency(self, pipe):
+        """Section 4.1: no batch assembly wait — one item's latency is far
+        below any batched engine's batch latency."""
+        assert pipe.single_item_latency_ns < pipe.batch_latency_ns(64)

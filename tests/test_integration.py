@@ -1,0 +1,107 @@
+"""Integration tests: full flows across planner, engine, simulators."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CpuCostModel,
+    FpgaConfig,
+    MicroRecEngine,
+    PlannerConfig,
+    QueryGenerator,
+    dlrm_rmc2,
+    production_large,
+    production_small,
+    u280_memory_system,
+)
+
+
+class TestEndToEndProductionFlow:
+    """Plan -> infer -> report on (row-capped) production models."""
+
+    @pytest.mark.parametrize(
+        "factory", [production_small, production_large], ids=["small", "large"]
+    )
+    def test_full_flow(self, factory):
+        model = factory().scaled(max_rows=2048)
+        engine = MicroRecEngine.build(model, seed=0)
+        gen = QueryGenerator(model, seed=0)
+        batch = gen.batch(32)
+        preds = engine.infer(batch)
+        assert preds.shape == (32,)
+        ref = engine.reference_engine().infer(batch)
+        assert np.corrcoef(preds, ref)[0, 1] > 0.99
+        perf = engine.performance()
+        assert perf.single_item_latency_us < 40
+        assert engine.resources().fits()
+
+    def test_speedup_story_end_to_end(self):
+        """The headline claim, computed from the library's own parts:
+        MicroRec beats the B=2048 CPU baseline by 2-6x."""
+        model = production_small()
+        engine = MicroRecEngine.build(model)
+        cpu = CpuCostModel(model)
+        cpu_per_item_us = cpu.end_to_end_latency_ms(2048) / 2048 * 1e3
+        fpga_per_item_us = engine.performance().batch_latency_ms(2048) / 2048 * 1e3
+        speedup = cpu_per_item_us / fpga_per_item_us
+        assert 2.0 < speedup < 6.0
+
+
+class TestMultiLookupModels:
+    def test_dlrm_rmc2_functional(self):
+        """Models with 4 lookups/table run through the whole stack."""
+        model = dlrm_rmc2(num_tables=8, dim=16, rows=2000)
+        engine = MicroRecEngine.build(model, seed=1)
+        batch = QueryGenerator(model, seed=1).batch(16)
+        preds = engine.infer(batch)
+        ref = engine.reference_engine().infer(batch)
+        assert np.abs(preds - ref).max() < 0.05
+
+    def test_multi_lookup_latency_scales(self):
+        model = dlrm_rmc2(num_tables=12, dim=32, rows=2000)
+        engine = MicroRecEngine.build(model, seed=0)
+        one = engine.plan.placement.lookup_latency_ns(engine.plan.timing)
+        # 12 tables x 4 lookups over 34 channels: at least 2 rounds.
+        assert engine.plan.placement.dram_access_rounds() >= 2
+        assert one > 0
+
+
+class TestAlternativeHardware:
+    def test_hbm_less_fpga_still_plans(self):
+        """Section 3.4.2: the algorithm generalises to FPGAs without HBM."""
+        model = production_small().scaled(max_rows=2048)
+        memory = u280_memory_system(hbm_channels=0)
+        engine = MicroRecEngine.build(model, memory=memory, seed=0)
+        # Only 2 DRAM channels: many more access rounds.
+        assert engine.plan.dram_access_rounds >= 10
+        batch = QueryGenerator(model, seed=0).batch(8)
+        ref = engine.reference_engine().embed(batch)
+        np.testing.assert_array_equal(engine.lookup_embeddings(batch), ref)
+
+    def test_hbm_is_the_win(self):
+        """Contribution 1: HBM channel count drives lookup concurrency."""
+        model = production_small()
+        with_hbm = MicroRecEngine.build(model).plan.lookup_latency_ns
+        without = MicroRecEngine.build(
+            model, memory=u280_memory_system(hbm_channels=0)
+        ).plan.lookup_latency_ns
+        assert without / with_hbm > 5.0
+
+    def test_planner_config_propagates(self):
+        model = production_small().scaled(max_rows=2048)
+        engine = MicroRecEngine.build(
+            model, planner_config=PlannerConfig(enable_cartesian=False)
+        )
+        assert not engine.plan.merge_groups
+
+
+class TestPrecisionSweep:
+    @pytest.mark.parametrize("precision", ["fixed16", "fixed32"])
+    def test_both_precisions_functional(self, precision):
+        model = production_small().scaled(max_rows=1024)
+        engine = MicroRecEngine.build(
+            model, fpga_config=FpgaConfig(precision=precision), seed=2
+        )
+        batch = QueryGenerator(model, seed=2).batch(8)
+        preds = engine.infer(batch)
+        assert ((preds > 0) & (preds < 1)).all()

@@ -1,0 +1,87 @@
+"""Unit tests for bank occupancy/state simulation."""
+
+import pytest
+
+from repro.memory.banks import BankState, MemorySystemState
+from repro.memory.spec import BankKind, BankSpec
+from repro.memory.timing import default_timing_model
+
+
+@pytest.fixture
+def bank():
+    return BankState(BankSpec(0, BankKind.HBM, 1000))
+
+
+class TestBankState:
+    def test_place_and_free_bytes(self, bank):
+        bank.place("a", 400)
+        assert bank.used_bytes == 400
+        assert bank.free_bytes == 600
+        assert bank.can_fit(600)
+        assert not bank.can_fit(601)
+
+    def test_over_capacity_rejected(self, bank):
+        with pytest.raises(ValueError):
+            bank.place("a", 1001)
+
+    def test_duplicate_key_rejected(self, bank):
+        bank.place("a", 10)
+        with pytest.raises(ValueError):
+            bank.place("a", 10)
+
+    def test_negative_bytes_rejected(self, bank):
+        with pytest.raises(ValueError):
+            bank.place("a", -1)
+
+    def test_evict(self, bank):
+        bank.place("a", 10)
+        bank.evict("a")
+        assert bank.used_bytes == 0
+        with pytest.raises(KeyError):
+            bank.evict("a")
+
+    def test_read_statistics(self, bank):
+        bank.record_read(16)
+        bank.record_read(32)
+        assert bank.reads == 2
+        assert bank.bytes_read == 48
+
+    def test_serial_read_sums_accesses(self, bank):
+        timing = default_timing_model()
+        bank.place("a", 16)
+        bank.place("b", 32)
+        expected = timing.dram_access_ns(16) + timing.dram_access_ns(32)
+        assert bank.serial_read_ns(timing) == pytest.approx(expected)
+
+
+class TestMemorySystemState:
+    def test_dram_access_rounds_is_max_residency(self, tiny_memory):
+        state = MemorySystemState(tiny_memory)
+        state.place(0, "a", 16)
+        state.place(0, "b", 16)
+        state.place(1, "c", 16)
+        # On-chip residents do not count towards DRAM rounds.
+        state.place(4, "d", 16)
+        assert state.dram_access_rounds() == 2
+
+    def test_parallel_lookup_is_slowest_bank(self, tiny_memory):
+        timing = default_timing_model()
+        state = MemorySystemState(tiny_memory)
+        state.place(0, "a", 16)
+        state.place(0, "b", 16)
+        state.place(1, "c", 256)
+        expected = max(
+            2 * timing.dram_access_ns(16), timing.dram_access_ns(256)
+        )
+        assert state.parallel_lookup_ns(timing) == pytest.approx(expected)
+
+    def test_empty_system(self, tiny_memory):
+        state = MemorySystemState(tiny_memory)
+        assert state.dram_access_rounds() == 0
+        assert state.parallel_lookup_ns(default_timing_model()) == 0.0
+        assert state.total_placed_bytes() == 0
+
+    def test_capacity_propagates(self, tiny_memory):
+        state = MemorySystemState(tiny_memory)
+        with pytest.raises(ValueError):
+            state.place(4, "big", 1 << 20)  # on-chip bank is 8 KiB

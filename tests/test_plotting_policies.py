@@ -1,0 +1,131 @@
+"""Tests for ASCII plotting and the extra batching policies."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.plotting import Series, ascii_chart, series_from_rows
+from repro.serving.policies import SlaAwareBatcher, work_conserving
+from repro.serving.arrivals import poisson_arrivals
+from repro.serving.queueing import BatchedServerSim
+
+
+class TestSeries:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Series("a", [1, 2], [1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Series("a", [], [])
+
+
+class TestAsciiChart:
+    @pytest.fixture
+    def two_series(self):
+        return [
+            Series("flat", [1, 2, 3, 4], [1.0, 1.0, 1.0, 1.0]),
+            Series("rising", [1, 2, 3, 4], [0.0, 1.0, 2.0, 3.0]),
+        ]
+
+    def test_contains_markers_and_legend(self, two_series):
+        chart = ascii_chart(two_series, title="t")
+        assert "t" in chart
+        assert "* flat" in chart
+        assert "o rising" in chart
+
+    def test_extremes_on_borders(self, two_series):
+        chart = ascii_chart(two_series)
+        lines = [l for l in chart.splitlines() if "|" in l]
+        # Max y (3.0) appears in the top row, min (0.0) at the bottom.
+        assert "o" in lines[0]
+        assert "o" in lines[-1]
+
+    def test_log_x(self):
+        s = Series("s", [1, 10, 100, 1000], [1, 2, 3, 4])
+        chart = ascii_chart([s], log_x=True, width=31)
+        row_cols = []
+        for line in chart.splitlines():
+            if "|" in line and "*" in line:
+                row_cols.append(line.index("*"))
+        # Log spacing => roughly equidistant columns across rows.
+        diffs = np.diff(sorted(row_cols))
+        assert diffs.max() - diffs.min() <= 2
+
+    def test_log_x_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ascii_chart([Series("s", [0, 1], [1, 2])], log_x=True)
+
+    def test_constant_series_renders(self):
+        chart = ascii_chart([Series("c", [1, 2], [5.0, 5.0])])
+        assert "*" in chart
+
+    def test_size_validation(self):
+        s = Series("s", [1], [1])
+        with pytest.raises(ValueError):
+            ascii_chart([s], width=4)
+        with pytest.raises(ValueError):
+            ascii_chart([])
+
+
+class TestSeriesFromRows:
+    def test_groups_split(self):
+        rows = [
+            {"m": "a", "x": 1, "y": 2.0},
+            {"m": "a", "x": 2, "y": 3.0},
+            {"m": "b", "x": 1, "y": 4.0},
+            {"m": "b", "x": 2, "y": None},  # non-numeric dropped
+        ]
+        series = series_from_rows(rows, "m", "x", "y")
+        by_label = {s.label: s for s in series}
+        assert len(by_label["a"].x) == 2
+        assert len(by_label["b"].x) == 1
+
+
+class TestWorkConserving:
+    def test_no_wait_at_light_load(self):
+        server = work_conserving(lambda b: 1.0)
+        result = server.run(np.array([0.0]))
+        assert result.latencies_ms[0] == pytest.approx(1.0)
+
+    def test_adapts_batch_to_backlog(self):
+        # One early query, 99 arriving while the server is busy with it:
+        # the second dispatch takes the whole backlog in one batch.
+        batches = []
+        server = work_conserving(lambda b: batches.append(b) or 1.0)
+        arrivals = np.concatenate([[0.0], np.full(99, 1000.0)])  # +1 us
+        server.run(arrivals)
+        assert batches[0] == 1
+        assert sum(batches) == 100
+        assert len(batches) == 2
+
+
+class TestSlaAwareBatcher:
+    def test_respects_sla_budget(self):
+        # exec(B) = 1 + 0.01 B ms; SLA 10 ms => batch <= ~900 minus age.
+        batcher = SlaAwareBatcher(lambda b: 1.0 + 0.01 * b, sla_ms=10.0)
+        rng = np.random.default_rng(0)
+        arrivals = poisson_arrivals(rng, 50_000, 0.2)
+        result = batcher.run(arrivals)
+        # Under moderate load the SLA holds for nearly everyone.
+        assert np.percentile(result.latencies_ms, 95) <= 10.0 * 1.05
+
+    def test_beats_fixed_batcher_on_tail(self):
+        """Same load: the SLA-aware policy keeps p99 below a big fixed
+        batcher that waits for its batch to fill."""
+        exec_ms = lambda b: 1.0 + 0.01 * b
+        rng = np.random.default_rng(1)
+        arrivals = poisson_arrivals(rng, 20_000, 0.2)
+        fixed = BatchedServerSim(exec_ms, batch_size=512, batch_timeout_ms=20.0)
+        aware = SlaAwareBatcher(exec_ms, sla_ms=10.0)
+        assert aware.run(arrivals).p99_ms < fixed.run(arrivals).p99_ms
+
+    def test_degrades_gracefully_when_overloaded(self):
+        batcher = SlaAwareBatcher(lambda b: 5.0, sla_ms=1.0)  # impossible SLA
+        result = batcher.run(np.zeros(10))
+        assert result.count == 10  # everyone still served
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SlaAwareBatcher(lambda b: 1.0, sla_ms=0)
+        with pytest.raises(ValueError):
+            SlaAwareBatcher(lambda b: 1.0, sla_ms=1.0, max_batch=0)

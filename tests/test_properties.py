@@ -1,0 +1,254 @@
+"""Property-based tests (hypothesis) on the core data structures.
+
+These pin down the invariants the whole system rests on:
+
+* Cartesian index translation is a bijection and merged lookups are
+  always byte-identical to member lookups;
+* the planner always emits capacity-feasible partitions covering every
+  table exactly once, never does worse than no merging, and respects the
+  product-size cap;
+* virtual tables are pure functions of (seed, table, row, column);
+* fixed-point quantisation is idempotent, monotone, and bounded.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cartesian import CartesianTable, MergeGroup, product_spec
+from repro.core.planner import PlannerConfig, plan_tables
+from repro.core.tables import TableSpec, VirtualTable
+from repro.memory.axi import AxiConfig
+from repro.memory.spec import BankKind, BankSpec, MemorySystemSpec
+from repro.memory.timing import MemoryTimingModel, default_timing_model
+from repro.models.mlp import FixedPointFormat
+
+# -- strategies ---------------------------------------------------------------
+
+table_specs = st.builds(
+    TableSpec,
+    table_id=st.integers(0, 10_000),
+    rows=st.integers(1, 5000),
+    dim=st.integers(1, 64),
+)
+
+
+@st.composite
+def merge_instances(draw):
+    """2-4 distinct small tables plus per-member lookup indices."""
+    k = draw(st.integers(2, 4))
+    rows = [draw(st.integers(1, 40)) for _ in range(k)]
+    dims = [draw(st.integers(1, 8)) for _ in range(k)]
+    specs = [TableSpec(i, rows=rows[i], dim=dims[i]) for i in range(k)]
+    tables = [VirtualTable(s, seed=draw(st.integers(0, 3))) for s in specs]
+    n = draw(st.integers(1, 16))
+    idx = np.array(
+        [[draw(st.integers(0, rows[j] - 1)) for j in range(k)] for _ in range(n)],
+        dtype=np.int64,
+    )
+    return tables, idx
+
+
+@st.composite
+def planner_instances(draw):
+    n = draw(st.integers(1, 12))
+    specs = [
+        TableSpec(
+            i,
+            rows=draw(st.integers(1, 2000)),
+            dim=draw(st.sampled_from([2, 4, 8, 16])),
+        )
+        for i in range(n)
+    ]
+    channels = draw(st.integers(1, 6))
+    onchip = draw(st.integers(0, 2))
+    banks = [BankSpec(i, BankKind.HBM, 1 << 22) for i in range(channels)]
+    banks += [
+        BankSpec(channels + i, BankKind.ONCHIP, 4 << 10) for i in range(onchip)
+    ]
+    memory = MemorySystemSpec(banks=tuple(banks), axi=AxiConfig(), name="prop")
+    return specs, memory
+
+
+# -- Cartesian properties -------------------------------------------------------
+
+
+@given(merge_instances())
+@settings(max_examples=150, deadline=None)
+def test_merged_index_roundtrip(instance):
+    tables, idx = instance
+    ct = CartesianTable(
+        MergeGroup(tuple(t.spec.table_id for t in tables)), tables
+    )
+    merged = ct.merged_index(idx)
+    assert (merged >= 0).all() and (merged < ct.spec.rows).all()
+    np.testing.assert_array_equal(ct.split_index(merged), idx)
+
+
+@given(merge_instances())
+@settings(max_examples=150, deadline=None)
+def test_merged_lookup_equals_member_concat(instance):
+    """The paper's Figure 5 semantics, universally."""
+    tables, idx = instance
+    ct = CartesianTable(
+        MergeGroup(tuple(t.spec.table_id for t in tables)), tables
+    )
+    via_product = ct.lookup(ct.merged_index(idx))
+    direct = np.concatenate(
+        [t.lookup(idx[:, j]) for j, t in enumerate(tables)], axis=1
+    )
+    np.testing.assert_array_equal(via_product, direct)
+
+
+@given(merge_instances())
+@settings(max_examples=50, deadline=None)
+def test_product_spec_accounting(instance):
+    tables, _ = instance
+    specs = {t.spec.table_id: t.spec for t in tables}
+    group = MergeGroup(tuple(specs))
+    spec = product_spec(group, specs)
+    assert spec.rows == int(np.prod([s.rows for s in specs.values()]))
+    assert spec.dim == sum(s.dim for s in specs.values())
+    assert spec.nbytes >= sum(s.nbytes for s in specs.values()) or spec.rows < len(
+        specs
+    )
+
+
+# -- planner properties ----------------------------------------------------------
+
+
+@given(planner_instances())
+@settings(max_examples=60, deadline=None)
+def test_planner_partition_is_exact_cover(instance):
+    specs, memory = instance
+    timing = default_timing_model()
+    try:
+        plan = plan_tables(specs, memory, timing)
+    except Exception as exc:  # infeasible instances must raise PlacementError
+        from repro.core.allocation import PlacementError
+
+        assert isinstance(exc, PlacementError)
+        return
+    covered = sorted(
+        tid for g in plan.placement.groups for tid in g.member_ids
+    )
+    assert covered == sorted(s.table_id for s in specs)
+    plan.placement.validate()  # capacity-feasible
+
+
+@given(planner_instances())
+@settings(max_examples=40, deadline=None)
+def test_planner_never_worse_than_no_merging(instance):
+    specs, memory = instance
+    timing = default_timing_model()
+    from repro.core.allocation import PlacementError
+
+    try:
+        base = plan_tables(
+            specs, memory, timing, PlannerConfig(enable_cartesian=False)
+        )
+    except PlacementError:
+        return
+    full = plan_tables(specs, memory, timing)
+    assert full.lookup_latency_ns <= base.lookup_latency_ns + 1e-6
+
+
+@given(planner_instances(), st.integers(1_000, 100_000))
+@settings(max_examples=40, deadline=None)
+def test_planner_respects_product_cap(instance, cap):
+    specs, memory = instance
+    timing = default_timing_model()
+    from repro.core.allocation import PlacementError
+
+    config = PlannerConfig(max_product_bytes=cap)
+    try:
+        plan = plan_tables(specs, memory, timing, config)
+    except PlacementError:
+        return
+    by_id = {s.table_id: s for s in specs}
+    for group in plan.merge_groups:
+        assert product_spec(group, by_id).nbytes <= cap
+
+
+# -- virtual table properties ------------------------------------------------------
+
+
+@given(table_specs, st.integers(0, 100), st.data())
+@settings(max_examples=80, deadline=None)
+def test_virtual_table_is_pure(spec, seed, data):
+    table = VirtualTable(spec, seed=seed)
+    idx = np.array(
+        data.draw(
+            st.lists(st.integers(0, spec.rows - 1), min_size=1, max_size=32)
+        ),
+        dtype=np.int64,
+    )
+    a = table.lookup(idx)
+    b = VirtualTable(spec, seed=seed).lookup(idx)
+    np.testing.assert_array_equal(a, b)
+    assert a.shape == (len(idx), spec.dim)
+    assert (a >= -1.0).all() and (a < 1.0).all()
+
+
+@given(table_specs, st.integers(0, 100))
+@settings(max_examples=50, deadline=None)
+def test_virtual_rows_independent_of_batch(spec, seed):
+    """Row r's vector must not depend on what else is in the batch."""
+    table = VirtualTable(spec, seed=seed)
+    r = spec.rows - 1
+    alone = table.lookup(np.array([r]))
+    batched = table.lookup(np.array([0, r, 0]))
+    np.testing.assert_array_equal(alone[0], batched[1])
+
+
+# -- timing properties ----------------------------------------------------------------
+
+
+@given(
+    st.integers(0, 4096),
+    st.integers(0, 4096),
+    st.floats(1.0, 1000.0),
+    st.sampled_from([32, 64, 128, 256, 512]),
+)
+@settings(max_examples=80, deadline=None)
+def test_dram_access_monotone_and_subadditive(a, b, init, width):
+    """One merged access never costs more than two separate ones."""
+    t = MemoryTimingModel(
+        axi=AxiConfig(data_width_bits=width), dram_init_ns=init
+    )
+    assert t.dram_access_ns(a + b) <= t.dram_access_ns(a) + t.dram_access_ns(b)
+    if a <= b:
+        assert t.dram_access_ns(a) <= t.dram_access_ns(b)
+
+
+# -- fixed point properties ---------------------------------------------------------
+
+
+@given(
+    st.sampled_from([8, 16, 32]),
+    st.data(),
+)
+@settings(max_examples=80, deadline=None)
+def test_fixed_point_idempotent_and_bounded(bits, data):
+    frac = data.draw(st.integers(0, bits - 1))
+    fmt = FixedPointFormat(total_bits=bits, frac_bits=frac)
+    x = np.array(
+        data.draw(
+            st.lists(
+                st.floats(-1e6, 1e6, allow_nan=False, width=32),
+                min_size=1,
+                max_size=64,
+            )
+        ),
+        dtype=np.float32,
+    )
+    q = fmt.quantize(x)
+    np.testing.assert_array_equal(fmt.quantize(q), q)
+    assert (q <= fmt.max_int / fmt.scale + 1e-9).all()
+    assert (q >= fmt.min_int / fmt.scale - 1e-9).all()
+    inside = (np.abs(x) < fmt.max_int / fmt.scale) & np.isfinite(x)
+    if inside.any():
+        err = np.abs(q[inside] - x[inside])
+        assert (err <= fmt.resolution / 2 + 1e-6).all()

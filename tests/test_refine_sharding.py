@@ -1,0 +1,199 @@
+"""Unit tests for the planner extensions: local search and sharding."""
+
+import numpy as np
+import pytest
+
+from repro.core.allocation import Placement, allocate_to_banks
+from repro.core.cartesian import MergeGroup
+from repro.core.refine import refine_placement
+from repro.core.sharding import (
+    ShardedTable,
+    shard_oversized,
+    shard_spec,
+)
+from repro.core.tables import TableSpec, VirtualTable, make_tables
+from repro.memory.axi import AxiConfig
+from repro.memory.spec import BankKind, BankSpec, MemorySystemSpec
+from repro.memory.timing import default_timing_model
+
+
+def singleton_groups(specs):
+    return tuple(MergeGroup((s.table_id,)) for s in specs)
+
+
+def by_id(specs):
+    return {s.table_id: s for s in specs}
+
+
+@pytest.fixture
+def two_channel_memory():
+    return MemorySystemSpec(
+        banks=(
+            BankSpec(0, BankKind.HBM, 1 << 24),
+            BankSpec(1, BankKind.HBM, 1 << 24),
+            BankSpec(2, BankKind.HBM, 1 << 24),
+        ),
+        axi=AxiConfig(),
+        name="3ch",
+    )
+
+
+class TestRefinePlacement:
+    def _adversarial_placement(self, memory):
+        """Pile everything on channel 0 — worst case for LPT to fix."""
+        specs = [TableSpec(i, rows=100, dim=8) for i in range(6)]
+        groups = singleton_groups(specs)
+        return Placement(
+            memory=memory,
+            specs=by_id(specs),
+            groups=groups,
+            bank_of={g: 0 for g in groups},
+        )
+
+    def test_improves_adversarial_placement(self, two_channel_memory):
+        timing = default_timing_model()
+        bad = self._adversarial_placement(two_channel_memory)
+        before = bad.lookup_latency_ns(timing)
+        refined = refine_placement(bad, timing)
+        after = refined.lookup_latency_ns(timing)
+        assert after < before
+        # 6 equal tables over 3 channels: optimal is 2 per channel.
+        assert refined.dram_access_rounds() == 2
+
+    def test_never_degrades(self, two_channel_memory):
+        timing = default_timing_model()
+        specs = [TableSpec(i, rows=50 * (i + 1), dim=4) for i in range(9)]
+        placement = allocate_to_banks(
+            singleton_groups(specs), by_id(specs), two_channel_memory, timing
+        )
+        before = placement.lookup_latency_ns(timing)
+        refined = refine_placement(placement, timing)
+        assert refined.lookup_latency_ns(timing) <= before + 1e-9
+
+    def test_input_not_mutated(self, two_channel_memory):
+        timing = default_timing_model()
+        bad = self._adversarial_placement(two_channel_memory)
+        original = dict(bad.bank_of)
+        refine_placement(bad, timing)
+        assert bad.bank_of == original
+
+    def test_respects_capacity(self):
+        timing = default_timing_model()
+        # Channel 1 too small for any move; refinement must keep placement
+        # feasible (validate() inside would raise otherwise).
+        memory = MemorySystemSpec(
+            banks=(
+                BankSpec(0, BankKind.HBM, 1 << 24),
+                BankSpec(1, BankKind.HBM, 128),
+            ),
+            axi=AxiConfig(),
+            name="tight",
+        )
+        specs = [TableSpec(i, rows=100, dim=8) for i in range(3)]
+        groups = singleton_groups(specs)
+        placement = Placement(
+            memory=memory,
+            specs=by_id(specs),
+            groups=groups,
+            bank_of={g: 0 for g in groups},
+        )
+        refined = refine_placement(placement, timing)
+        refined.validate()
+
+    def test_iteration_validation(self, two_channel_memory):
+        timing = default_timing_model()
+        bad = self._adversarial_placement(two_channel_memory)
+        with pytest.raises(ValueError):
+            refine_placement(bad, timing, max_iterations=-1)
+
+
+class TestShardSpec:
+    def test_no_split_when_fitting(self):
+        spec = TableSpec(0, rows=100, dim=4)
+        infos = shard_spec(spec, max_bytes=spec.nbytes, next_id=10)
+        assert len(infos) == 1
+        assert infos[0].shard_spec is spec
+
+    def test_split_covers_rows_exactly(self):
+        spec = TableSpec(0, rows=1000, dim=4)
+        max_bytes = spec.nbytes // 3 + spec.vector_bytes
+        infos = shard_spec(spec, max_bytes=max_bytes, next_id=10)
+        assert len(infos) == 3
+        assert sum(i.shard_spec.rows for i in infos) == 1000
+        offsets = [i.row_offset for i in infos]
+        assert offsets == sorted(offsets)
+        for info in infos:
+            assert info.shard_spec.nbytes <= max_bytes
+
+    def test_row_larger_than_limit_rejected(self):
+        spec = TableSpec(0, rows=10, dim=64)
+        with pytest.raises(ValueError):
+            shard_spec(spec, max_bytes=16, next_id=1)
+
+
+class TestShardOversized:
+    def test_only_oversized_rewritten(self):
+        specs = [
+            TableSpec(0, rows=10, dim=4),
+            TableSpec(1, rows=100_000, dim=4),
+        ]
+        out, smap = shard_oversized(specs, max_bytes=100_000)
+        assert smap.sharded_ids == [1]
+        assert any(s.table_id == 0 for s in out)
+        shard_ids = [i.shard_spec.table_id for i in smap.shards_of[1]]
+        assert all(sid >= 2 for sid in shard_ids)
+
+    def test_shard_for_row(self):
+        specs = [TableSpec(0, rows=1000, dim=4)]
+        _, smap = shard_oversized(specs, max_bytes=2000)
+        info = smap.shard_for_row(0, 999)
+        assert info.row_offset <= 999 < info.row_offset + info.shard_spec.rows
+        with pytest.raises(IndexError):
+            smap.shard_for_row(0, 1000)
+
+
+class TestShardedTable:
+    def test_functionally_identical_to_unsharded(self):
+        spec = TableSpec(5, rows=997, dim=8)
+        original = VirtualTable(spec, seed=1)
+        new_specs, smap = shard_oversized([spec], max_bytes=8000)
+        # Shards reuse the original's rows via offset-shifted virtual
+        # tables is NOT valid (different hash streams); instead wrap
+        # materialised slices of the original.
+        from repro.core.tables import MaterializedTable
+
+        tables = {}
+        full = original.lookup(np.arange(spec.rows))
+        for info in smap.shards_of[5]:
+            sl = full[info.row_offset : info.row_offset + info.shard_spec.rows]
+            tables[info.shard_spec.table_id] = MaterializedTable(
+                info.shard_spec, sl
+            )
+        sharded = ShardedTable(spec, smap.shards_of[5], tables)
+        idx = np.array([0, 1, 500, 996, 250, 750])
+        np.testing.assert_array_equal(
+            sharded.lookup(idx), original.lookup(idx)
+        )
+
+    def test_bounds_checked(self):
+        spec = TableSpec(0, rows=100, dim=4)
+        tables = make_tables([spec], seed=0)
+        from repro.core.sharding import ShardInfo
+
+        infos = (ShardInfo(shard_spec=spec, original_id=0, row_offset=0),)
+        sharded = ShardedTable(spec, infos, tables)
+        with pytest.raises(IndexError):
+            sharded.lookup(np.array([100]))
+
+    def test_coverage_validated(self):
+        spec = TableSpec(0, rows=100, dim=4)
+        half = TableSpec(1, rows=50, dim=4)
+        from repro.core.sharding import ShardInfo
+
+        tables = make_tables([half], seed=0)
+        with pytest.raises(ValueError):
+            ShardedTable(
+                spec,
+                (ShardInfo(shard_spec=half, original_id=0, row_offset=0),),
+                tables,
+            )

@@ -1,0 +1,151 @@
+"""Unit tests for the serving/SLA simulation substrate."""
+
+import numpy as np
+import pytest
+
+from repro.serving.arrivals import poisson_arrivals, uniform_arrivals
+from repro.serving.queueing import (
+    BatchedServerSim,
+    PipelineServerSim,
+    ServingResult,
+)
+from repro.serving.sla import SlaReport, sla_capacity_sweep
+
+
+class TestArrivals:
+    def test_poisson_rate(self):
+        rng = np.random.default_rng(0)
+        arrivals = poisson_arrivals(rng, rate_per_s=10_000, duration_s=1.0)
+        assert arrivals.size == pytest.approx(10_000, rel=0.05)
+        assert (np.diff(arrivals) > 0).all()
+        assert arrivals.max() < 1e9
+
+    def test_uniform_spacing(self):
+        arrivals = uniform_arrivals(rate_per_s=1000, duration_s=0.1)
+        assert arrivals.size == 100
+        np.testing.assert_allclose(np.diff(arrivals), 1e6)
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            poisson_arrivals(rng, 0, 1.0)
+        with pytest.raises(ValueError):
+            uniform_arrivals(10, 0)
+
+
+class TestServingResult:
+    def test_percentiles(self):
+        arrivals = np.zeros(100)
+        completions = np.arange(1, 101, dtype=np.float64) * 1e6  # 1..100 ms
+        result = ServingResult(arrivals, completions)
+        assert result.p50_ms == pytest.approx(50.5, rel=0.02)
+        assert result.p99_ms == pytest.approx(99.0, rel=0.02)
+
+    def test_causality_enforced(self):
+        with pytest.raises(ValueError):
+            ServingResult(np.array([10.0]), np.array([5.0]))
+
+
+class TestBatchedServer:
+    def test_batch_assembly_wait_visible(self):
+        """A lone query must wait out the batch timeout before dispatch."""
+        server = BatchedServerSim(
+            lambda b: 1.0, batch_size=64, batch_timeout_ms=10.0
+        )
+        result = server.run(np.array([0.0]))
+        # 10 ms timeout + 1 ms execution.
+        assert result.latencies_ms[0] == pytest.approx(11.0)
+
+    def test_full_batch_dispatches_early(self):
+        server = BatchedServerSim(
+            lambda b: 1.0, batch_size=4, batch_timeout_ms=50.0
+        )
+        arrivals = np.array([0.0, 1.0, 2.0, 3.0])  # all within 4 ns
+        result = server.run(arrivals)
+        assert result.latencies_ms.max() < 2.0
+
+    def test_serial_server_queues_batches(self):
+        server = BatchedServerSim(
+            lambda b: 10.0, batch_size=2, batch_timeout_ms=0.0
+        )
+        arrivals = np.array([0.0, 0.0, 0.0, 0.0])
+        result = server.run(arrivals)
+        # Second batch waits for the first: 10 ms then 20 ms.
+        assert sorted(np.unique(np.round(result.latencies_ms))) == [10.0, 20.0]
+
+    def test_latency_grows_with_load(self):
+        server = BatchedServerSim(
+            lambda b: 5.0 + 0.01 * b, batch_size=256, batch_timeout_ms=5.0
+        )
+        rng = np.random.default_rng(3)
+        light = server.run(poisson_arrivals(rng, 1_000, 0.2))
+        heavy = server.run(poisson_arrivals(rng, 80_000, 0.2))
+        assert heavy.p99_ms > light.p99_ms
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BatchedServerSim(lambda b: 1.0, batch_size=0)
+
+
+class TestPipelineServer:
+    def test_unloaded_latency_is_fill_latency(self):
+        server = PipelineServerSim(single_item_latency_us=16.0, ii_ns=3400.0)
+        result = server.run(np.array([0.0]))
+        assert result.latencies_ms[0] == pytest.approx(0.016)
+
+    def test_saturation_queues(self):
+        server = PipelineServerSim(single_item_latency_us=16.0, ii_ns=3400.0)
+        arrivals = np.zeros(1000)  # burst far above capacity
+        result = server.run(arrivals)
+        assert result.latencies_ms.max() > 1000 * 3400 / 1e6 * 0.9
+
+    def test_below_capacity_latency_flat(self):
+        server = PipelineServerSim(single_item_latency_us=16.0, ii_ns=3400.0)
+        rng = np.random.default_rng(5)
+        arrivals = poisson_arrivals(rng, 100_000, 0.1)  # 1/3 of capacity
+        result = server.run(arrivals)
+        assert result.p99_ms < 0.05
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PipelineServerSim(0, 100)
+        with pytest.raises(ValueError):
+            PipelineServerSim(16, 0)
+
+
+class TestSlaSweep:
+    @pytest.fixture
+    def reports(self):
+        batched = BatchedServerSim(
+            lambda b: 3.0 + 0.012 * b, batch_size=256, batch_timeout_ms=5.0
+        )
+        pipelined = PipelineServerSim(16.3, 3417.0)
+        return sla_capacity_sweep(
+            batched, pipelined, rates=(1_000, 20_000, 60_000, 200_000),
+            duration_s=0.2,
+        )
+
+    def test_fpga_capacity_exceeds_cpu(self, reports):
+        assert (
+            reports["fpga"].sla_capacity_per_s
+            > reports["cpu"].sla_capacity_per_s
+        )
+
+    def test_fpga_latency_microseconds_under_load(self, reports):
+        fpga = reports["fpga"]
+        for rate, p99 in zip(fpga.rates, fpga.p99_ms):
+            if rate <= fpga.sla_capacity_per_s:
+                assert p99 < 1.0  # sub-millisecond
+
+    def test_rows_structure(self, reports):
+        rows = reports["cpu"].rows()
+        assert len(rows) == 4
+        assert {"engine", "rate_per_s", "p50_ms", "p99_ms", "meets_sla"} <= set(
+            rows[0]
+        )
+
+    def test_capacity_zero_when_never_meeting_sla(self):
+        report = SlaReport(
+            engine="x", sla_ms=1.0, rates=(10.0,), p50_ms=(5.0,), p99_ms=(9.0,)
+        )
+        assert report.sla_capacity_per_s == 0.0

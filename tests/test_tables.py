@@ -1,0 +1,136 @@
+"""Unit tests for embedding table specs and storage backends."""
+
+import numpy as np
+import pytest
+
+from repro.core.tables import (
+    MaterializedTable,
+    TableSpec,
+    VirtualTable,
+    make_tables,
+)
+
+
+class TestTableSpec:
+    def test_byte_accounting(self):
+        spec = TableSpec(0, rows=100, dim=4)
+        assert spec.nbytes == 100 * 4 * 4
+        assert spec.vector_bytes == 16
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(rows=0, dim=4),
+            dict(rows=4, dim=0),
+            dict(rows=4, dim=4, dtype_bytes=0),
+            dict(rows=4, dim=4, lookups_per_inference=0),
+        ],
+    )
+    def test_invalid_spec_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            TableSpec(0, **kwargs)
+
+    def test_size_key_orders_smallest_first(self):
+        small = TableSpec(5, rows=10, dim=4)
+        big = TableSpec(1, rows=1000, dim=4)
+        assert sorted([big, small], key=lambda s: s.size_key)[0] is small
+
+
+class TestMaterializedTable:
+    def test_lookup_gathers_rows(self, rng):
+        values = rng.standard_normal((8, 4)).astype(np.float32)
+        table = MaterializedTable(TableSpec(0, rows=8, dim=4), values)
+        idx = np.array([3, 0, 3])
+        np.testing.assert_array_equal(table.lookup(idx), values[idx])
+
+    def test_shape_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            MaterializedTable(
+                TableSpec(0, rows=8, dim=4),
+                rng.standard_normal((8, 5)).astype(np.float32),
+            )
+
+    def test_out_of_range_index(self, rng):
+        table = MaterializedTable(
+            TableSpec(0, rows=8, dim=4),
+            rng.standard_normal((8, 4)).astype(np.float32),
+        )
+        with pytest.raises(IndexError):
+            table.lookup(np.array([8]))
+        with pytest.raises(IndexError):
+            table.lookup(np.array([-1]))
+
+    def test_non_1d_indices_rejected(self, rng):
+        table = MaterializedTable(
+            TableSpec(0, rows=8, dim=4),
+            rng.standard_normal((8, 4)).astype(np.float32),
+        )
+        with pytest.raises(ValueError):
+            table.lookup(np.zeros((2, 2), dtype=np.int64))
+
+
+class TestVirtualTable:
+    def test_deterministic_across_instances(self):
+        spec = TableSpec(3, rows=1000, dim=8)
+        a = VirtualTable(spec, seed=42)
+        b = VirtualTable(spec, seed=42)
+        idx = np.array([0, 1, 999, 17])
+        np.testing.assert_array_equal(a.lookup(idx), b.lookup(idx))
+
+    def test_seed_changes_values(self):
+        spec = TableSpec(3, rows=1000, dim=8)
+        a = VirtualTable(spec, seed=1).lookup(np.arange(10))
+        b = VirtualTable(spec, seed=2).lookup(np.arange(10))
+        assert not np.array_equal(a, b)
+
+    def test_table_id_decorrelates(self):
+        a = VirtualTable(TableSpec(0, rows=100, dim=4), seed=0)
+        b = VirtualTable(TableSpec(1, rows=100, dim=4), seed=0)
+        assert not np.array_equal(a.lookup(np.arange(10)), b.lookup(np.arange(10)))
+
+    def test_values_in_unit_range(self):
+        table = VirtualTable(TableSpec(0, rows=10_000, dim=16), seed=0)
+        vals = table.lookup(np.arange(10_000))
+        assert vals.dtype == np.float32
+        assert vals.min() >= -1.0
+        assert vals.max() < 1.0
+        # Roughly centred (uniform in [-1, 1)).
+        assert abs(float(vals.mean())) < 0.02
+
+    def test_huge_table_costs_nothing_until_lookup(self):
+        """The large production model's 42M-row tables stay virtual."""
+        spec = TableSpec(0, rows=42_000_000, dim=23)
+        table = VirtualTable(spec, seed=0)
+        out = table.lookup(np.array([0, 41_999_999]))
+        assert out.shape == (2, 23)
+
+    def test_materialize_matches_virtual(self):
+        spec = TableSpec(7, rows=64, dim=4)
+        virt = VirtualTable(spec, seed=9)
+        mat = virt.materialize()
+        idx = np.array([0, 5, 63, 31])
+        np.testing.assert_array_equal(mat.lookup(idx), virt.lookup(idx))
+
+    def test_out_of_range_index(self):
+        table = VirtualTable(TableSpec(0, rows=8, dim=4))
+        with pytest.raises(IndexError):
+            table.lookup(np.array([8]))
+
+
+class TestMakeTables:
+    def test_materialize_threshold(self, small_specs):
+        threshold = 64 * 8 * 4 + 1  # tables 0..2 fall below
+        tables = make_tables(small_specs, seed=0, materialize_below_bytes=threshold)
+        assert isinstance(tables[0], MaterializedTable)
+        assert isinstance(tables[5], VirtualTable)
+
+    def test_materialized_equals_virtual_view(self, small_specs):
+        mat = make_tables(small_specs, seed=3, materialize_below_bytes=1 << 30)
+        virt = make_tables(small_specs, seed=3, materialize_below_bytes=0)
+        idx = np.array([0, 1, 15])
+        np.testing.assert_array_equal(mat[0].lookup(idx), virt[0].lookup(idx))
+
+    def test_duplicate_ids_rejected(self):
+        specs = [TableSpec(0, rows=4, dim=4), TableSpec(0, rows=8, dim=4)]
+        with pytest.raises(ValueError):
+            make_tables(specs)

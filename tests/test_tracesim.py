@@ -1,0 +1,80 @@
+"""Tests for the trace-driven whole-engine simulation."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import accelerator, model, plan
+from repro.fpga.tracesim import per_query_lookup_ns, run_trace
+from repro.models.spec import dlrm_rmc2
+from repro.models.workload import QueryGenerator
+
+
+@pytest.fixture(scope="module")
+def small_setup():
+    m = model("small")
+    p = plan("small")
+    acc = accelerator("small", "fixed16")
+    batch = QueryGenerator(m, seed=0).batch(192)
+    return m, p, acc, batch
+
+
+class TestPerQueryLookup:
+    def test_positive_and_bounded(self, small_setup):
+        _, p, _, batch = small_setup
+        lookups = per_query_lookup_ns(p, batch)
+        assert lookups.shape == (192,)
+        assert (lookups > 0).all()
+        # The queued per-query latency stays near the analytical estimate.
+        assert np.median(lookups) == pytest.approx(
+            p.lookup_latency_ns, rel=0.25
+        )
+
+    def test_merged_groups_one_access(self, small_setup):
+        """With Cartesian merging the per-query access count drops, which
+        must show up as lower simulated latency vs the unmerged plan."""
+        m, p_with, _, batch = small_setup
+        p_without = plan("small", cartesian=False)
+        with_ns = per_query_lookup_ns(p_with, batch).mean()
+        without_ns = per_query_lookup_ns(p_without, batch).mean()
+        assert with_ns < without_ns
+
+    def test_multi_lookup_tables_counted(self):
+        m = dlrm_rmc2(num_tables=8, dim=16, rows=50_000)
+        from repro.core.planner import plan_tables
+        from repro.experiments.calibration import default_memory, default_timing
+
+        p = plan_tables(m.tables, default_memory(), default_timing())
+        batch = QueryGenerator(m, seed=1).batch(64)
+        lookups = per_query_lookup_ns(p, batch)
+        # 32 lookups over 34 channels: at least one access per bottleneck
+        # channel, clearly more than one table's worth of latency.
+        assert lookups.mean() > 300.0
+
+
+class TestRunTrace:
+    def test_latency_matches_analytical_at_paced_arrivals(self, small_setup):
+        _, p, acc, batch = small_setup
+        report = run_trace(acc, p, batch)
+        analytical_us = acc.performance().single_item_latency_us
+        assert report.latency_percentile_us(50) == pytest.approx(
+            analytical_us, rel=0.05
+        )
+
+    def test_throughput_matches_analytical(self, small_setup):
+        _, p, acc, batch = small_setup
+        report = run_trace(acc, p, batch, arrival_ii_ns=0.0)
+        assert report.throughput_items_per_s == pytest.approx(
+            acc.performance().throughput_items_per_s, rel=0.05
+        )
+
+    def test_saturating_burst_queues(self, small_setup):
+        _, p, acc, batch = small_setup
+        paced = run_trace(acc, p, batch)
+        burst = run_trace(acc, p, batch, arrival_ii_ns=0.0)
+        assert burst.latency_percentile_us(99) > paced.latency_percentile_us(99)
+
+    def test_report_accessors(self, small_setup):
+        _, p, acc, batch = small_setup
+        report = run_trace(acc, p, batch)
+        assert report.queries == 192
+        assert report.lookup_percentile_ns(99) >= report.lookup_percentile_ns(50)

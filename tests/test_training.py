@@ -1,0 +1,123 @@
+"""Unit tests for the training / quantisation-accuracy substrate."""
+
+import numpy as np
+import pytest
+
+from repro.models.mlp import FIXED16, FIXED32, Mlp
+from repro.models.spec import dlrm_rmc2
+from repro.models.training import (
+    SgdTrainer,
+    SyntheticCtrTask,
+    auc_score,
+    train_and_evaluate,
+)
+
+
+class TestAucScore:
+    def test_perfect_separation(self):
+        labels = np.array([0, 0, 1, 1])
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        assert auc_score(labels, scores) == 1.0
+
+    def test_inverted(self):
+        labels = np.array([0, 0, 1, 1])
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        assert auc_score(labels, scores) == 0.0
+
+    def test_random_is_half(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 2, size=5000)
+        scores = rng.random(5000)
+        assert auc_score(labels, scores) == pytest.approx(0.5, abs=0.02)
+
+    def test_ties_averaged(self):
+        labels = np.array([0, 1, 0, 1])
+        scores = np.array([0.5, 0.5, 0.5, 0.5])
+        assert auc_score(labels, scores) == pytest.approx(0.5)
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError):
+            auc_score(np.ones(4), np.arange(4))
+
+
+@pytest.fixture(scope="module")
+def small_task_model():
+    return dlrm_rmc2(num_tables=4, dim=8, rows=300, lookups_per_table=1)
+
+
+class TestSyntheticCtrTask:
+    def test_labels_are_binary_and_mixed(self, small_task_model):
+        task = SyntheticCtrTask(small_task_model, seed=0)
+        labeled = task.sample(2048)
+        assert set(np.unique(labeled.labels)) <= {0.0, 1.0}
+        rate = labeled.labels.mean()
+        assert 0.05 < rate < 0.95
+
+    def test_teacher_signal_is_learnable(self, small_task_model):
+        """The teacher itself must score well above chance on its own
+        labels — otherwise the task is noise."""
+        task = SyntheticCtrTask(small_task_model, seed=0)
+        labeled = task.sample(4096)
+        teacher_scores = task.teacher.forward(task.features(labeled))
+        assert auc_score(labeled.labels, teacher_scores) > 0.75
+
+    def test_deterministic(self, small_task_model):
+        a = SyntheticCtrTask(small_task_model, seed=3).sample(64)
+        b = SyntheticCtrTask(small_task_model, seed=3).sample(64)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+
+class TestSgdTrainer:
+    def test_loss_decreases(self, small_task_model):
+        task = SyntheticCtrTask(small_task_model, seed=1)
+        student = Mlp.random(small_task_model.layer_dims, seed=2)
+        trainer = SgdTrainer(student, lr=0.2)
+        first_losses, last_losses = [], []
+        for step in range(60):
+            labeled = task.sample(256)
+            loss = trainer.step(task.features(labeled), labeled.labels)
+            if step < 10:
+                first_losses.append(loss)
+            if step >= 50:
+                last_losses.append(loss)
+        assert np.mean(last_losses) < np.mean(first_losses)
+
+    def test_gradient_direction(self):
+        """One step on a single example must move the prediction towards
+        the label."""
+        mlp = Mlp.random([(4, 8), (8, 1)], seed=0)
+        trainer = SgdTrainer(mlp, lr=0.5)
+        x = np.ones((1, 4), dtype=np.float32)
+        before = mlp.forward(x)[0]
+        trainer.step(x, np.array([1.0], dtype=np.float32))
+        after = mlp.forward(x)[0]
+        assert after > before
+
+    def test_lr_validation(self):
+        with pytest.raises(ValueError):
+            SgdTrainer(Mlp.random([(2, 1)]), lr=0.0)
+
+
+class TestTrainAndEvaluate:
+    @pytest.fixture(scope="class")
+    def report(self, ):
+        model = dlrm_rmc2(num_tables=4, dim=8, rows=300, lookups_per_table=1)
+        return train_and_evaluate(
+            model,
+            {"fixed16": FIXED16, "fixed32": FIXED32},
+            train_batches=120,
+            batch_size=256,
+            test_size=4096,
+            seed=0,
+            lr=0.2,
+        )
+
+    def test_learns_above_chance(self, report):
+        assert report.auc_fp32 > 0.6
+
+    def test_fixed32_lossless(self, report):
+        assert abs(report.auc_drop("fixed32")) < 1e-3
+
+    def test_fixed16_drop_negligible(self, report):
+        """The paper's fixed16 serving choice costs <0.005 AUC."""
+        assert abs(report.auc_drop("fixed16")) < 5e-3
