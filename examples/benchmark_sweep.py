@@ -6,14 +6,16 @@ section 5.4.2:
 * the Table 5 grid — lookup latency over table counts and embedding dims,
   showing the round structure (one HBM round at <=32 lookups, two beyond);
 * the Figure 7 question for these models — how many lookups per table the
-  pipelined engine tolerates before going memory-bound.
+  pipelined engine tolerates before going memory-bound, read from a
+  runtime session deployed on the ``fpga`` backend.
 
 Run:  python examples/benchmark_sweep.py
 """
 
 from __future__ import annotations
 
-from repro import MicroRecEngine, dlrm_rmc2, u280_memory_system
+import repro
+from repro import dlrm_rmc2, u280_memory_system
 from repro.experiments.calibration import default_timing
 from repro.fpga.lookup import replicated_lookup_ns
 from repro.memory.spec import BankKind
@@ -37,11 +39,11 @@ def table5_grid() -> None:
 def multi_round_tolerance() -> None:
     print("\nthroughput vs lookups per table (dlrm-rmc2, 8 tables, dim 32):")
     base_model = dlrm_rmc2(num_tables=8, dim=32, lookups_per_table=1)
-    engine = MicroRecEngine.build(base_model)
-    base = engine.performance(lookup_rounds=1).throughput_items_per_s
+    session = repro.deploy_model(base_model, backend="fpga")
+    base = session.performance(lookup_rounds=1).throughput_items_per_s
     print(f"{'lookups':>8} {'items/s':>12} {'relative':>9}")
     for rounds in (1, 2, 4, 6, 8, 12, 16):
-        thr = engine.performance(lookup_rounds=rounds).throughput_items_per_s
+        thr = session.performance(lookup_rounds=rounds).throughput_items_per_s
         print(f"{rounds:>8} {thr:>12,.0f} {thr / base:>9.2f}")
 
 

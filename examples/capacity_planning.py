@@ -3,9 +3,10 @@
 Section 3.4.2: "this algorithm can be generalized to any FPGAs, no matter
 whether they are equipped with HBM, and no matter how many memory channels
 they have."  This example sweeps hardware configurations — HBM channel
-count, on-chip cache budget, AXI width — and shows how lookup latency and
-the planner's merging/caching decisions respond.  This is the study a team
-would run before choosing a board for a given model.
+count, on-chip cache budget, AXI width — through the ``fpga`` backend of
+the runtime API and shows how lookup latency and the planner's
+merging/caching decisions respond.  This is the study a team would run
+before choosing a board for a given model.
 
 Run:  python examples/capacity_planning.py
 """
@@ -14,7 +15,7 @@ from __future__ import annotations
 
 from repro import (
     AxiConfig,
-    MicroRecEngine,
+    get_backend,
     production_small,
     u280_memory_system,
 )
@@ -22,10 +23,10 @@ from repro.memory.timing import MemoryTimingModel
 
 
 def plan_on(model, memory):
-    engine = MicroRecEngine.build(
+    session = get_backend("fpga").build(
         model, memory=memory, timing=MemoryTimingModel(axi=memory.axi)
     )
-    return engine.plan
+    return session.plan
 
 
 def main() -> None:

@@ -4,31 +4,34 @@ Three production questions, answered with the library's deployment and
 compression extensions on top of the paper's planner:
 
 1. how many U280 boards (vs CPU servers) does 1M queries/second need, and
-   at what cost;
+   at what cost — sized from the backend-agnostic performance estimates of
+   runtime sessions (:func:`repro.deploy_model` +
+   :func:`repro.deploy.plan_fleet_for`);
 2. what happens to each model's lookup latency when two models share one
    board's memory system;
-3. what int8 embedding compression buys in storage and lookup latency.
+3. what int8 embedding compression buys in storage and lookup latency
+   (the ``fpga-compressed`` backend's planning view).
 
 Run:  python examples/deployment_planning.py
 """
 
 from __future__ import annotations
 
-from repro import CpuCostModel, production_small
+import repro
 from repro.core.compression import compressed_spec
 from repro.core.planner import plan_tables
-from repro.deploy import co_locate, plan_fleet
-from repro.experiments.common import accelerator
+from repro.deploy import co_locate, plan_fleet_for
 from repro.memory.spec import u280_memory_system
 from repro.memory.timing import default_timing_model
-from repro.models.spec import dlrm_rmc2
+from repro.models.spec import dlrm_rmc2, production_small
 
 
 def fleets() -> None:
     print("== fleet sizing for 1,000,000 queries/s (small model) ==")
-    perf = accelerator("small", "fixed16").performance()
-    cpu = CpuCostModel(production_small())
-    plans = plan_fleet(1_000_000, perf, cpu)
+    sessions = [
+        repro.deploy_model("small", backend=name) for name in ("fpga", "cpu")
+    ]
+    plans = plan_fleet_for(1_000_000, [s.perf() for s in sessions])
     for name, fleet in plans.items():
         print(
             f"  {name:>4}: {fleet.nodes:3d} nodes, "
@@ -73,6 +76,20 @@ def compression() -> None:
             f"{plan.dram_access_rounds} round(s), "
             f"{plan.lookup_latency_ns:.0f} ns lookup"
         )
+    # The functional side of the same trade, on a materialisable copy: the
+    # fpga-compressed backend serves real (dequantised) predictions.
+    session = repro.deploy_model(
+        "small", backend="fpga-compressed", max_rows=2048, seed=0
+    )
+    queries = repro.QueryGenerator(session.model, seed=0).batch(128)
+    err = abs(
+        session.infer(queries) - session.reference().infer(queries)
+    ).max()
+    print(
+        f"  fpga-compressed (2048-row copy): "
+        f"{session.plan.placement.storage_bytes / 2**20:.0f} MiB, "
+        f"max |CTR - fp32 on int8 tables| = {err:.2e}"
+    )
 
 
 def main() -> None:

@@ -4,9 +4,11 @@ The paper's motivation in queueing form: recommendation queries arrive as
 a Poisson stream and must be answered within tens of milliseconds.  The
 CPU engine batches to reach throughput — paying batch assembly wait and
 batched execution — while MicroRec's deep pipeline serves items one by
-one.  This example sweeps the offered load and prints p50/p99 latency and
-each engine's SLA capacity, plus a queuing-DRAM sanity check of the
-engine's lookup stage.
+one.  Both engines are deployed through the unified runtime API
+(:func:`repro.deploy_model`); each session's ``server()`` supplies the
+right queueing model.  This example sweeps the offered load and prints
+p50/p99 latency and each engine's SLA capacity, plus a queuing-DRAM
+sanity check of the engine's lookup stage.
 
 Run:  python examples/online_serving.py
 """
@@ -15,30 +17,23 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import CpuCostModel, production_small
-from repro.experiments.common import accelerator, plan
+import repro
+from repro.experiments.common import plan
 from repro.experiments.queuing import simulated_lookup_ns
-from repro.serving import (
-    BatchedServerSim,
-    PipelineServerSim,
-    sla_capacity_sweep,
-)
+from repro.serving import sla_capacity_sweep
 from repro.serving.sla import DEFAULT_SLA_MS
 
 
 def main() -> None:
-    model = production_small()
-    cpu = CpuCostModel(model)
-    perf = accelerator("small", "fixed16").performance()
+    cpu = repro.deploy_model("small", backend="cpu")
+    fpga = repro.deploy_model("small", backend="fpga")
 
-    batched = BatchedServerSim(
-        cpu.end_to_end_latency_ms, batch_size=256, batch_timeout_ms=5.0
-    )
-    pipelined = PipelineServerSim(perf.single_item_latency_us, perf.ii_ns)
+    batched = cpu.server(batch_size=256, batch_timeout_ms=5.0)
+    pipelined = fpga.server()
     rates = (1_000, 10_000, 30_000, 60_000, 120_000, 240_000, 280_000)
     reports = sla_capacity_sweep(batched, pipelined, rates)
 
-    print(f"p99 SLA = {DEFAULT_SLA_MS:.0f} ms, model = {model.name}\n")
+    print(f"p99 SLA = {DEFAULT_SLA_MS:.0f} ms, model = {cpu.model.name}\n")
     print(f"{'rate/s':>9} | {'CPU p50':>9} {'CPU p99':>9} | "
           f"{'FPGA p50':>9} {'FPGA p99':>9}")
     cpu_rows = {r["rate_per_s"]: r for r in reports["cpu"].rows()}

@@ -1,9 +1,10 @@
 """Production serving study: both Alibaba-scale models end to end.
 
-Reproduces the paper's headline story on the full (virtual-table) models:
-plans both production models with and without Cartesian products, compares
-against the CPU baseline across batch sizes, and reports FPGA resource
-usage and quantisation accuracy.
+Reproduces the paper's headline story on the full (virtual-table) models
+through the unified runtime API: plans both production models with and
+without Cartesian products, compares the ``fpga`` backend against the
+``cpu`` backend across batch sizes, and reports FPGA resource usage and
+quantisation accuracy.
 
 Run:  python examples/production_serving.py
 """
@@ -12,27 +13,21 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import (
-    CpuCostModel,
-    FpgaConfig,
-    MicroRecEngine,
-    PlannerConfig,
-    QueryGenerator,
-    production_large,
-    production_small,
-)
+import repro
+from repro import PlannerConfig, QueryGenerator, production_large, production_small
 
 
 def study(model_factory) -> None:
     model = model_factory()
+    fpga = repro.get_backend("fpga")
     print(f"\n=== {model.name}: {model.num_tables} tables, "
           f"{model.total_embedding_bytes / 1e9:.1f} GB ===")
 
     # -- Cartesian products on/off (Table 3 story) -------------------------
-    plain = MicroRecEngine.build(
+    plain = fpga.build(
         model, planner_config=PlannerConfig(enable_cartesian=False)
     ).plan
-    merged = MicroRecEngine.build(model).plan
+    merged = fpga.build(model).plan
     print("Cartesian products:")
     print(
         f"  without: {plain.placement.num_tables_after_merge} tables, "
@@ -48,24 +43,22 @@ def study(model_factory) -> None:
     )
 
     # -- CPU baseline vs FPGA (Table 2 story) ------------------------------
-    cpu = CpuCostModel(model)
+    cpu = repro.deploy_model(model, backend="cpu")
     print("CPU baseline (TensorFlow-Serving model):")
     for batch in (1, 256, 2048):
         print(
-            f"  B={batch:5d}: {cpu.end_to_end_latency_ms(batch):7.2f} ms/batch, "
-            f"{cpu.throughput_items_per_s(batch):10,.0f} items/s"
+            f"  B={batch:5d}: {cpu.batch_latency_ms(batch):7.2f} ms/batch, "
+            f"{batch / (cpu.batch_latency_ms(batch) / 1e3):10,.0f} items/s"
         )
     for precision in ("fixed16", "fixed32"):
-        engine = MicroRecEngine.build(
-            model, fpga_config=FpgaConfig(precision=precision)
+        session = repro.deploy_model(model, backend="fpga", precision=precision)
+        perf = session.perf()
+        speedup = (cpu.batch_latency_ms(2048) / 2048) / (
+            session.batch_latency_ms(2048) / 2048
         )
-        perf = engine.performance()
-        speedup = (cpu.end_to_end_latency_ms(2048) / 2048) / (
-            perf.batch_latency_ms(2048) / 2048
-        )
-        res = engine.resources()
+        res = session.resources()
         print(
-            f"MicroRec {precision}: {perf.single_item_latency_us:5.1f} us/item, "
+            f"MicroRec {precision}: {perf.latency_us:5.1f} us/item, "
             f"{perf.throughput_items_per_s:10,.0f} items/s "
             f"({speedup:.1f}x CPU B=2048), "
             f"{res.frequency_mhz:.0f} MHz, "
@@ -78,12 +71,12 @@ def study(model_factory) -> None:
     fp32_ref = None
     print("quantisation accuracy (row-capped copy, 256 queries):")
     for precision in ("fixed32", "fixed16"):
-        engine = MicroRecEngine.build(
-            scaled, seed=0, fpga_config=FpgaConfig(precision=precision)
+        session = repro.deploy_model(
+            scaled, backend="fpga", seed=0, precision=precision
         )
-        preds = engine.infer(queries)
+        preds = session.infer(queries)
         if fp32_ref is None:
-            fp32_ref = engine.reference_engine().infer(queries)
+            fp32_ref = session.reference().infer(queries)
         err = np.abs(preds - fp32_ref).max()
         print(f"  {precision}: max |CTR - fp32| = {err:.2e}")
 

@@ -1,7 +1,8 @@
-"""Quickstart: plan a model, run inference, read the performance report.
+"""Quickstart: deploy a model, run inference, read the performance report.
 
-Builds a MicroRec engine for a row-capped copy of the paper's smaller
-production model (47 tables), runs real CTR inference through the planned
+Deploys a row-capped copy of the paper's smaller production model (47
+tables) on the ``fpga`` backend via the unified runtime API
+(:func:`repro.deploy_model`), runs real CTR inference through the planned
 data structures, checks the result against the plain CPU reference, and
 prints the timed estimates the paper reports.
 
@@ -12,19 +13,19 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import MicroRecEngine, QueryGenerator, production_small
+import repro
 
 
 def main() -> None:
     # Row-capping keeps every table materialisable on a laptop while
     # preserving the table count, dims, and MLP shape.
-    model = production_small().scaled(max_rows=4096)
+    session = repro.deploy_model("small", backend="fpga", max_rows=4096, seed=0)
+    model = session.model
     print(f"model: {model.name}")
     print(f"  tables={model.num_tables}  feature_len={model.feature_len}")
+    print(f"  backend={session.backend}  precision={session.precision}")
 
-    engine = MicroRecEngine.build(model, seed=0)
-
-    plan = engine.plan
+    plan = session.plan
     print("\nplanner result (Algorithm 1):")
     print(f"  tables after Cartesian merging: {plan.placement.num_tables_after_merge}")
     print(f"  merged groups: {len(plan.merge_groups)}")
@@ -39,20 +40,20 @@ def main() -> None:
     # 3.2% on the full 1.3 GB model.
     print(f"  Cartesian storage overhead: {overhead_mb:.1f} MiB")
 
-    # Real inference through the planned engine.
-    queries = QueryGenerator(model, seed=0).batch(128)
-    ctr = engine.infer(queries)
-    reference = engine.reference_engine().infer(queries)
+    # Real inference through the deployed session.
+    queries = repro.QueryGenerator(model, seed=0).batch(128)
+    ctr = session.infer(queries)
+    reference = session.reference().infer(queries)
     print("\nfunctional check:")
     print(f"  predicted CTR[:5] = {np.round(ctr[:5], 4)}")
     print(f"  max |engine - reference| = {np.abs(ctr - reference).max():.2e}")
 
-    perf = engine.performance()
-    print("\ntimed estimates (FPGA model, fixed16):")
-    print(f"  single-item latency: {perf.single_item_latency_us:.1f} us")
+    perf = session.perf()
+    print(f"\ntimed estimates ({perf.backend} backend, {perf.precision}):")
+    print(f"  single-item latency: {perf.latency_us:.1f} us")
     print(f"  throughput: {perf.throughput_items_per_s:,.0f} items/s")
     print(f"  throughput: {perf.throughput_gops:.0f} GOP/s")
-    print(f"  bottleneck stage: {perf.bottleneck_stage}")
+    print(f"  bottleneck stage: {perf.bottleneck}")
 
 
 if __name__ == "__main__":

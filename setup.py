@@ -1,5 +1,55 @@
-"""Setuptools shim for offline editable installs (no wheel available)."""
+"""Packaging for the MicroRec (MLSys 2021) reproduction.
 
-from setuptools import setup
+Kept as a plain setup.py (no wheel/network required) so offline editable
+installs — ``pip install -e .`` — work in air-gapped environments.
+"""
 
-setup()
+import os
+
+from setuptools import find_packages, setup
+
+
+def _long_description() -> str:
+    if os.path.exists("README.md"):
+        with open("README.md", encoding="utf-8") as fh:
+            return fh.read()
+    return ""
+
+
+setup(
+    name="microrec-repro",
+    version="1.1.0",
+    description=(
+        "Reproduction of MicroRec (MLSys 2021): efficient recommendation "
+        "inference via Cartesian-product embedding-table merging, hybrid "
+        "HBM/DDR/on-chip placement planning, and analytical FPGA/CPU "
+        "serving simulators behind a unified runtime API"
+    ),
+    long_description=_long_description(),
+    long_description_content_type="text/markdown",
+    author="paper-repo-growth",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    extras_require={
+        "test": ["pytest", "hypothesis"],
+        "lint": ["ruff"],
+    },
+    entry_points={
+        "console_scripts": [
+            "repro = repro.cli:main",
+        ],
+    },
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Science/Research",
+        "Programming Language :: Python :: 3",
+        "Programming Language :: Python :: 3.10",
+        "Programming Language :: Python :: 3.11",
+        "Programming Language :: Python :: 3.12",
+        "Topic :: Scientific/Engineering",
+        "Topic :: System :: Hardware",
+    ],
+)

@@ -5,12 +5,30 @@ solutions: Cartesian-product embedding-table merging, a heuristic
 table-combination/allocation planner for hybrid HBM+DDR+on-chip memory,
 and analytical simulators of the FPGA accelerator and the CPU baseline.
 
-Quickstart::
+Quickstart — deploy a model on a named backend and use the session::
+
+    import repro
+
+    session = repro.deploy_model("small", backend="fpga", max_rows=4096)
+    preds = session.infer(repro.QueryGenerator(session.model).batch(128))
+    print(session.perf())        # normalised latency/throughput/cost
+    print(session.fleet(1e6))    # nodes for 1M queries/s
+
+The session API (:mod:`repro.runtime`) replaces hand-wiring the engine
+classes.  Before::
 
     from repro import MicroRecEngine, production_small
 
     engine = MicroRecEngine.build(production_small().scaled(max_rows=4096))
-    print(engine.summary())
+    preds = engine.infer(batch)
+
+After::
+
+    session = repro.deploy_model("small", max_rows=4096)
+    preds = session.infer(batch)  # identical predictions, bit-for-bit
+
+The engine classes remain importable for code that needs the layers
+directly (planner studies, calibration, custom backends).
 """
 
 from repro.core import (
@@ -42,6 +60,7 @@ from repro.memory import (
 from repro.models import (
     FIXED16,
     FIXED32,
+    MODEL_FACTORIES,
     FixedPointFormat,
     Mlp,
     ModelSpec,
@@ -50,11 +69,38 @@ from repro.models import (
     dlrm_rmc2,
     production_large,
     production_small,
+    resolve_model,
 )
 
-__version__ = "1.0.0"
+# The runtime package imports the layers above, so it re-exports last.
+from repro.runtime import (
+    CpuSession,
+    FpgaSession,
+    InferenceBackend,
+    PerfEstimate,
+    Session,
+    UnknownBackendError,
+    available_backends,
+    deploy_model,
+    get_backend,
+    register_backend,
+)
+
+__version__ = "1.1.0"
 
 __all__ = [
+    "deploy_model",
+    "Session",
+    "FpgaSession",
+    "CpuSession",
+    "PerfEstimate",
+    "InferenceBackend",
+    "UnknownBackendError",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "MODEL_FACTORIES",
+    "resolve_model",
     "MicroRecEngine",
     "TableSpec",
     "MergeGroup",

@@ -2,18 +2,40 @@
 
 Usage::
 
-    python -m repro experiments [NAME ...]   # regenerate tables/figures
-    python -m repro plan MODEL [options]     # run Algorithm 1 on a model
-    python -m repro info                     # library / model overview
+    repro experiments [NAME ...]           # regenerate tables/figures
+    repro plan MODEL [options]             # run Algorithm 1 on a model
+    repro infer MODEL [options]            # deploy a backend, run inference
+    repro fleet MODEL QPS [options]        # size fleets for a target load
+    repro info                             # library / model overview
 
-``MODEL`` is ``small`` or ``large`` (the paper's production models).
+(Also runnable as ``python -m repro``.)  ``MODEL`` is a registered model
+name (``small``, ``large``, ``dlrm-rmc2``); ``--backend`` selects a
+registered inference backend (``fpga``, ``fpga-compressed``, ``cpu``).
+``--json`` on ``plan``/``infer``/``fleet``/``info`` emits machine-readable
+output for scripting.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
+
+
+def _fail(message: str) -> int:
+    print(message, file=sys.stderr)
+    return 2
+
+
+def _check_model(name: str) -> int | None:
+    from repro.models.spec import MODEL_FACTORIES
+
+    if name not in MODEL_FACTORIES:
+        return _fail(
+            f"unknown model {name!r}; available: {sorted(MODEL_FACTORIES)}"
+        )
+    return None
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
@@ -23,73 +45,173 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     names = args.names or list(EXPERIMENTS)
     unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:
-        print(
-            f"unknown experiment(s) {unknown}; available: {sorted(EXPERIMENTS)}",
-            file=sys.stderr,
+        return _fail(
+            f"unknown experiment(s) {unknown}; available: {sorted(EXPERIMENTS)}"
         )
-        return 2
     for name in names:
         print(render_table(EXPERIMENTS[name]()))
         print()
     return 0
 
 
+def _planner_config(args: argparse.Namespace):
+    from repro.core.planner import PlannerConfig
+
+    return PlannerConfig(
+        enable_cartesian=not args.no_cartesian,
+        max_candidate_rows=args.max_candidate_rows,
+        max_product_bytes=args.max_product_bytes,
+    )
+
+
+def _build_session(args: argparse.Namespace, **knobs):
+    """Deploy the requested model/backend, translating errors to exit 2."""
+    from repro.runtime import UnknownBackendError, deploy_model
+
+    try:
+        return deploy_model(
+            args.model,
+            backend=args.backend,
+            max_rows=getattr(args, "max_rows", None),
+            **knobs,
+        )
+    except (UnknownBackendError, ValueError) as exc:
+        _fail(str(exc))
+        return None
+
+
 def _cmd_plan(args: argparse.Namespace) -> int:
-    from repro.core.planner import PlannerConfig, plan_tables
-    from repro.experiments.common import MODELS
     from repro.memory.spec import u280_memory_system
     from repro.memory.timing import MemoryTimingModel
 
-    if args.model not in MODELS:
-        print(
-            f"unknown model {args.model!r}; available: {sorted(MODELS)}",
-            file=sys.stderr,
-        )
-        return 2
-    model = MODELS[args.model]()
+    if (rc := _check_model(args.model)) is not None:
+        return rc
     memory = u280_memory_system(
         hbm_channels=args.hbm_channels, onchip_banks=args.onchip_banks
     )
-    timing = MemoryTimingModel(axi=memory.axi)
-    plan = plan_tables(
-        model.tables,
-        memory,
-        timing,
-        PlannerConfig(enable_cartesian=not args.no_cartesian),
+    session = _build_session(
+        args,
+        memory=memory,
+        timing=MemoryTimingModel(axi=memory.axi),
+        planner_config=_planner_config(args),
     )
-    print(f"model: {model.name} ({model.num_tables} tables, "
-          f"{model.total_embedding_bytes / 1e9:.2f} GB)")
-    for key, value in plan.summary().items():
-        print(f"  {key}: {value}")
+    if session is None:
+        return 2
+    plan = getattr(session, "plan", None)
+    if args.show_merges and plan is None:
+        return _fail(
+            f"--show-merges needs a planning backend, not {args.backend!r}"
+        )
+    summary = session.summary()
+    merges = None
     if args.show_merges:
+        merges = []
         for group in plan.merge_groups:
             spec = plan.placement.group_spec(group)
+            merges.append(
+                {
+                    "member_ids": list(group.member_ids),
+                    "rows": spec.rows,
+                    "dim": spec.dim,
+                    "nbytes": spec.nbytes,
+                }
+            )
+    if args.json:
+        payload = dict(summary)
+        if merges is not None:
+            payload["merges"] = merges
+        print(json.dumps(payload, indent=2, default=str))
+        return 0
+    model = session.model
+    print(f"model: {model.name} ({model.num_tables} tables, "
+          f"{model.total_embedding_bytes / 1e9:.2f} GB), "
+          f"backend: {session.backend}")
+    for key, value in summary.items():
+        print(f"  {key}: {value}")
+    if merges is not None:
+        for merge in merges:
             print(
-                f"  merge {group.member_ids}: {spec.rows} rows x dim "
-                f"{spec.dim} = {spec.nbytes / 2**20:.1f} MiB"
+                f"  merge {tuple(merge['member_ids'])}: {merge['rows']} rows "
+                f"x dim {merge['dim']} = {merge['nbytes'] / 2**20:.1f} MiB"
             )
     return 0
 
 
-def _cmd_fleet(args: argparse.Namespace) -> int:
-    from repro.cpu.costmodel import CpuCostModel
-    from repro.deploy.capacity import plan_fleet
-    from repro.experiments.common import MODELS, accelerator
+def _cmd_infer(args: argparse.Namespace) -> int:
+    import numpy as np
 
-    if args.model not in MODELS:
-        print(
-            f"unknown model {args.model!r}; available: {sorted(MODELS)}",
-            file=sys.stderr,
-        )
+    from repro.models.workload import QueryGenerator
+
+    if (rc := _check_model(args.model)) is not None:
+        return rc
+    if args.batch <= 0:
+        return _fail(f"--batch must be positive, got {args.batch}")
+    session = _build_session(args, precision=args.precision, seed=args.seed)
+    if session is None:
         return 2
-    perf = accelerator(args.model, args.precision).performance()
-    cpu = CpuCostModel(MODELS[args.model]())
-    fleets = plan_fleet(args.qps, perf, cpu, headroom=args.headroom)
-    print(f"fleet sizing for {args.qps:,.0f} queries/s ({args.model}, "
-          f"{args.precision}):")
+    queries = QueryGenerator(session.model, seed=args.seed).batch(args.batch)
+    preds = session.infer(queries)
+    reference = session.reference().infer(queries)
+    max_err = float(np.abs(preds - reference).max())
+    perf = session.perf()
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "model": session.model.name,
+                    "backend": session.backend,
+                    "precision": session.precision,
+                    "batch": args.batch,
+                    "predictions": [float(p) for p in preds[: args.show]],
+                    "mean_ctr": float(preds.mean()),
+                    "max_abs_error_vs_fp32": max_err,
+                    "perf": perf.as_dict(),
+                },
+                indent=2,
+            )
+        )
+        return 0
+    print(f"model: {session.model.name}, backend: {session.backend} "
+          f"({session.precision}), batch: {args.batch}")
+    print(f"  CTR[:{args.show}] = {np.round(preds[: args.show], 4)}")
+    print(f"  mean CTR = {preds.mean():.4f}")
+    print(f"  max |pred - fp32 reference| = {max_err:.2e}")
+    print(f"  latency: {perf.latency_us:.1f} us/query  "
+          f"throughput: {perf.throughput_items_per_s:,.0f} items/s  "
+          f"bottleneck: {perf.bottleneck}")
+    return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.deploy.capacity import plan_fleet_for
+
+    if (rc := _check_model(args.model)) is not None:
+        return rc
+    backends = args.backend or ["fpga", "cpu"]
+    estimates = []
+    for name in backends:
+        args_one = argparse.Namespace(**{**vars(args), "backend": name})
+        session = _build_session(args_one, precision=args.precision)
+        if session is None:
+            return 2
+        estimates.append(session.perf())
+    try:
+        fleets = plan_fleet_for(args.qps, estimates, headroom=args.headroom)
+    except ValueError as exc:
+        return _fail(str(exc))
+    if args.json:
+        print(
+            json.dumps(
+                {name: fleet.as_dict() for name, fleet in fleets.items()},
+                indent=2,
+            )
+        )
+        return 0
+    print(f"fleet sizing for {args.qps:,.0f} queries/s ({args.model}):")
+    width = max(len(n) for n in fleets)
     for name, fleet in fleets.items():
         print(
-            f"  {name:>4}: {fleet.nodes:4d} nodes  "
+            f"  {name:>{width}}: {fleet.nodes:4d} nodes  "
             f"${fleet.usd_per_hour:8.2f}/h  "
             f"${fleet.usd_per_million_queries:.4f}/1M  "
             f"{fleet.latency_ms:9.3f} ms/query  "
@@ -98,14 +220,37 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_info(_: argparse.Namespace) -> int:
+def _cmd_info(args: argparse.Namespace) -> int:
     import repro
-    from repro.experiments.common import MODELS
     from repro.experiments.harness import EXPERIMENTS
+    from repro.models.spec import MODEL_FACTORIES
+    from repro.runtime import available_backends
 
+    if args.json:
+        models = {}
+        for name, factory in MODEL_FACTORIES.items():
+            m = factory()
+            models[name] = {
+                "tables": m.num_tables,
+                "feature_len": m.feature_len,
+                "embedding_gb": m.total_embedding_bytes / 1e9,
+            }
+        print(
+            json.dumps(
+                {
+                    "version": repro.__version__,
+                    "backends": list(available_backends()),
+                    "models": models,
+                    "experiments": list(EXPERIMENTS),
+                },
+                indent=2,
+            )
+        )
+        return 0
     print(f"repro {repro.__version__} — MicroRec (MLSys'21) reproduction")
-    print("\nproduction models:")
-    for name, factory in MODELS.items():
+    print(f"\nbackends: {', '.join(available_backends())}")
+    print("\nproduction models (+ benchmark family):")
+    for name, factory in MODEL_FACTORIES.items():
         m = factory()
         print(
             f"  {name}: {m.num_tables} tables, feat {m.feature_len}, "
@@ -113,6 +258,33 @@ def _cmd_info(_: argparse.Namespace) -> int:
         )
     print(f"\nexperiments: {', '.join(EXPERIMENTS)}")
     return 0
+
+
+def _add_backend_flag(parser: argparse.ArgumentParser, **kwargs) -> None:
+    parser.add_argument(
+        "--backend",
+        help="inference backend (fpga | fpga-compressed | cpu)",
+        **kwargs,
+    )
+
+
+def _add_planner_flags(parser: argparse.ArgumentParser) -> None:
+    from repro.core.planner import PlannerConfig
+
+    defaults = PlannerConfig()
+    parser.add_argument("--no-cartesian", action="store_true")
+    parser.add_argument(
+        "--max-candidate-rows",
+        type=int,
+        default=defaults.max_candidate_rows,
+        help="rule 1 cutoff: largest table eligible for Cartesian merging",
+    )
+    parser.add_argument(
+        "--max-product-bytes",
+        type=int,
+        default=defaults.max_product_bytes,
+        help="rule 2/3 cutoff: largest allowed merged-product footprint",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -126,21 +298,60 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.set_defaults(func=_cmd_experiments)
 
     p_plan = sub.add_parser("plan", help="run Algorithm 1 on a model")
-    p_plan.add_argument("model", help="small | large")
-    p_plan.add_argument("--no-cartesian", action="store_true")
+    p_plan.add_argument("model", help="small | large | dlrm-rmc2")
+    _add_backend_flag(p_plan, default="fpga")
+    _add_planner_flags(p_plan)
+    p_plan.add_argument(
+        "--max-rows", type=int, default=None,
+        help="row-cap tables before planning (required for "
+        "fpga-compressed, whose codes must fit 256 MiB)",
+    )
     p_plan.add_argument("--hbm-channels", type=int, default=32)
     p_plan.add_argument("--onchip-banks", type=int, default=8)
     p_plan.add_argument("--show-merges", action="store_true")
+    p_plan.add_argument("--json", action="store_true")
     p_plan.set_defaults(func=_cmd_plan)
 
-    p_fleet = sub.add_parser("fleet", help="size FPGA/CPU fleets for a load")
-    p_fleet.add_argument("model", help="small | large")
+    p_infer = sub.add_parser(
+        "infer", help="deploy a backend and run real inference"
+    )
+    p_infer.add_argument("model", help="small | large | dlrm-rmc2")
+    _add_backend_flag(p_infer, default="fpga")
+    p_infer.add_argument(
+        "--precision", default=None,
+        help="fp32 | fixed16 | fixed32 (backend default if omitted)",
+    )
+    p_infer.add_argument("--batch", type=int, default=128)
+    p_infer.add_argument(
+        "--max-rows", type=int, default=None,
+        help="row-cap tables before deployment (laptop-friendly)",
+    )
+    p_infer.add_argument("--seed", type=int, default=0)
+    p_infer.add_argument("--show", type=int, default=5,
+                         help="predictions to print")
+    p_infer.add_argument("--json", action="store_true")
+    p_infer.set_defaults(func=_cmd_infer)
+
+    p_fleet = sub.add_parser("fleet", help="size engine fleets for a load")
+    p_fleet.add_argument("model", help="small | large | dlrm-rmc2")
     p_fleet.add_argument("qps", type=float, help="target queries per second")
-    p_fleet.add_argument("--precision", default="fixed16")
+    _add_backend_flag(p_fleet, action="append", default=None)
+    p_fleet.add_argument(
+        "--max-rows", type=int, default=None,
+        help="row-cap tables before deployment (required for "
+        "fpga-compressed, whose codes must fit 256 MiB)",
+    )
+    p_fleet.add_argument(
+        "--precision", default=None,
+        help="number format for every sized backend (backend defaults if "
+        "omitted: fixed16 on fpga, fp32 on cpu)",
+    )
     p_fleet.add_argument("--headroom", type=float, default=0.7)
+    p_fleet.add_argument("--json", action="store_true")
     p_fleet.set_defaults(func=_cmd_fleet)
 
     p_info = sub.add_parser("info", help="library overview")
+    p_info.add_argument("--json", action="store_true")
     p_info.set_defaults(func=_cmd_info)
     return parser
 

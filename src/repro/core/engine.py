@@ -33,7 +33,12 @@ from repro.fpga.accelerator import (
 from repro.fpga.resources import ResourceReport
 from repro.memory.spec import MemorySystemSpec, u280_memory_system
 from repro.memory.timing import MemoryTimingModel, default_timing_model
-from repro.models.mlp import PRECISIONS, FixedPointFormat, Mlp
+from repro.models.mlp import (
+    PRECISIONS,
+    FixedPointFormat,
+    Mlp,
+    check_precision,
+)
 from repro.models.spec import ModelSpec
 from repro.models.workload import QueryBatch
 
@@ -85,6 +90,8 @@ class MicroRecEngine:
         materialize_below_bytes: int = 0,
         mlp: Mlp | None = None,
         compress_tables: bool = False,
+        precision: str | None = None,
+        plan: Plan | None = None,
     ) -> "MicroRecEngine":
         """Plan the model onto the memory system and assemble the engine.
 
@@ -92,6 +99,14 @@ class MicroRecEngine:
         precision (``fixed16`` default).  ``materialize_below_bytes``
         materialises small tables as arrays (virtual otherwise) — both
         representations are functionally identical.
+
+        ``precision`` overrides the *functional* number format independently
+        of the accelerator config: any key of
+        :data:`repro.models.mlp.PRECISIONS`, including ``"fp32"`` (which the
+        hardware model cannot time but the functional path can execute — it
+        is the correctness reference).  ``plan`` injects a precomputed
+        planner result, skipping Algorithm 1 — useful to build several
+        precision variants of one placement without re-planning.
 
         ``compress_tables`` stores every embedding table as int8 with
         per-row scales (:mod:`repro.core.compression`): the planner sees
@@ -114,9 +129,10 @@ class MicroRecEngine:
             from repro.core.compression import compressed_spec
 
             planner_specs = [compressed_spec(t) for t in model.tables]
-        plan = plan_tables(
-            planner_specs, memory, timing=timing, config=planner_config
-        )
+        if plan is None:
+            plan = plan_tables(
+                planner_specs, memory, timing=timing, config=planner_config
+            )
         tables = make_tables(
             model.tables,
             seed=seed,
@@ -130,7 +146,9 @@ class MicroRecEngine:
             }
         if mlp is None:
             mlp = Mlp.random(model.layer_dims, seed=seed)
-        fmt = PRECISIONS[fpga_config.precision]
+        if precision is None:
+            precision = fpga_config.precision
+        fmt = PRECISIONS[check_precision(precision)]
         return cls(model, plan, tables, mlp, fpga_config, fmt)
 
     # -- functional inference -------------------------------------------------

@@ -10,7 +10,13 @@ next questions, answerable with the same substrates:
   (:mod:`repro.deploy.colocation`).
 """
 
-from repro.deploy.capacity import FleetPlan, plan_fleet
+from repro.deploy.capacity import FleetPlan, plan_fleet, plan_fleet_for
 from repro.deploy.colocation import CoLocationPlan, co_locate
 
-__all__ = ["FleetPlan", "plan_fleet", "CoLocationPlan", "co_locate"]
+__all__ = [
+    "FleetPlan",
+    "plan_fleet",
+    "plan_fleet_for",
+    "CoLocationPlan",
+    "co_locate",
+]

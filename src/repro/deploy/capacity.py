@@ -12,9 +12,18 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
 
 from repro.cpu.costmodel import CpuCostModel
 from repro.fpga.accelerator import FpgaPerformance
+
+if TYPE_CHECKING:  # avoid a runtime import cycle with repro.runtime
+    from repro.runtime.perf import PerfEstimate
+
+#: Appendix AWS rates: f1.2xlarge (one U280-class board) and the CPU
+#: baseline server.
+FPGA_USD_PER_HOUR = 1.65
+CPU_USD_PER_HOUR = 1.82
 
 
 @dataclass(frozen=True)
@@ -44,6 +53,54 @@ class FleetPlan:
     def utilisation(self) -> float:
         return self.target_qps / self.fleet_qps
 
+    def as_dict(self) -> dict[str, object]:
+        """JSON-serialisable summary (CLI ``--json`` output)."""
+        return {
+            "engine": self.engine,
+            "target_qps": self.target_qps,
+            "nodes": self.nodes,
+            "per_node_qps": self.per_node_qps,
+            "fleet_qps": self.fleet_qps,
+            "usd_per_hour": self.usd_per_hour,
+            "usd_per_million_queries": self.usd_per_million_queries,
+            "latency_ms": self.latency_ms,
+            "utilisation": self.utilisation,
+        }
+
+
+def plan_fleet_for(
+    target_qps: float,
+    estimates: Iterable["PerfEstimate"],
+    headroom: float = 0.7,
+) -> dict[str, FleetPlan]:
+    """Size one fleet per backend performance estimate.
+
+    The backend-agnostic planner behind :func:`plan_fleet`: any
+    :class:`~repro.runtime.perf.PerfEstimate` — whatever engine produced it
+    — sizes a fleet from its sustained per-node throughput, serving-point
+    latency, and node cost.  ``headroom`` caps per-node utilisation
+    (serving fleets never run at 100%); node counts are the minimum
+    satisfying it.  Returns plans keyed by backend name.
+    """
+    if target_qps <= 0:
+        raise ValueError(f"target_qps must be positive, got {target_qps}")
+    if not 0 < headroom <= 1:
+        raise ValueError(f"headroom must be in (0, 1], got {headroom}")
+    fleets: dict[str, FleetPlan] = {}
+    for est in estimates:
+        if est.backend in fleets:
+            raise ValueError(f"duplicate backend {est.backend!r}")
+        node_qps = est.throughput_items_per_s * headroom
+        fleets[est.backend] = FleetPlan(
+            engine=est.backend,
+            target_qps=target_qps,
+            per_node_qps=node_qps,
+            nodes=max(1, math.ceil(target_qps / node_qps)),
+            node_usd_per_hour=est.usd_per_hour,
+            latency_ms=est.serving_latency_ms,
+        )
+    return fleets
+
 
 def plan_fleet(
     target_qps: float,
@@ -51,38 +108,28 @@ def plan_fleet(
     cpu_model: CpuCostModel,
     cpu_batch: int = 2048,
     headroom: float = 0.7,
-    fpga_usd_per_hour: float = 1.65,
-    cpu_usd_per_hour: float = 1.82,
+    fpga_usd_per_hour: float = FPGA_USD_PER_HOUR,
+    cpu_usd_per_hour: float = CPU_USD_PER_HOUR,
 ) -> dict[str, FleetPlan]:
     """Size FPGA and CPU fleets for ``target_qps``.
 
-    ``headroom`` caps per-node utilisation (serving fleets never run at
-    100%); node counts are the minimum satisfying it.
+    Compatibility wrapper over :func:`plan_fleet_for` for the paper's
+    two-engine comparison; the raw performance objects are normalised into
+    :class:`~repro.runtime.perf.PerfEstimate` first.
     """
-    if target_qps <= 0:
-        raise ValueError(f"target_qps must be positive, got {target_qps}")
-    if not 0 < headroom <= 1:
-        raise ValueError(f"headroom must be in (0, 1], got {headroom}")
+    from repro.runtime.perf import PerfEstimate
 
-    fpga_node_qps = fpga_perf.throughput_items_per_s * headroom
-    fpga_nodes = max(1, math.ceil(target_qps / fpga_node_qps))
-    fpga = FleetPlan(
-        engine="fpga",
-        target_qps=target_qps,
-        per_node_qps=fpga_node_qps,
-        nodes=fpga_nodes,
-        node_usd_per_hour=fpga_usd_per_hour,
-        latency_ms=fpga_perf.single_item_latency_us / 1e3,
+    return plan_fleet_for(
+        target_qps,
+        [
+            PerfEstimate.from_fpga_performance(
+                fpga_perf, usd_per_hour=fpga_usd_per_hour
+            ),
+            PerfEstimate.from_cpu_model(
+                cpu_model,
+                serving_batch=cpu_batch,
+                usd_per_hour=cpu_usd_per_hour,
+            ),
+        ],
+        headroom=headroom,
     )
-
-    cpu_node_qps = cpu_model.throughput_items_per_s(cpu_batch) * headroom
-    cpu_nodes = max(1, math.ceil(target_qps / cpu_node_qps))
-    cpu = FleetPlan(
-        engine="cpu",
-        target_qps=target_qps,
-        per_node_qps=cpu_node_qps,
-        nodes=cpu_nodes,
-        node_usd_per_hour=cpu_usd_per_hour,
-        latency_ms=cpu_model.end_to_end_latency_ms(cpu_batch),
-    )
-    return {"fpga": fpga, "cpu": cpu}

@@ -1,6 +1,9 @@
 """Shared builders for the experiment modules.
 
-Plans for the two production models are cached because several experiments
+Everything here routes through the unified runtime API
+(:mod:`repro.runtime`): experiments deploy named backends and read
+sessions, instead of wiring engine classes by hand.  Plans and sessions
+for the two production models are cached because several experiments
 (Tables 2, 3, 4, Figure 7) reuse them.
 """
 
@@ -16,9 +19,10 @@ from repro.experiments.calibration import (
     fpga_config,
 )
 from repro.fpga.accelerator import FpgaAcceleratorModel
-from repro.models.spec import ModelSpec, production_large, production_small
+from repro.models.spec import MODEL_FACTORIES, ModelSpec
+from repro.runtime import Session, get_backend
 
-MODELS = {"small": production_small, "large": production_large}
+MODELS = dict(MODEL_FACTORIES)
 
 
 @functools.lru_cache(maxsize=None)
@@ -42,15 +46,40 @@ def plan(name: str, cartesian: bool = True) -> Plan:
     )
 
 
+@functools.lru_cache(maxsize=None)
+def session(
+    name: str,
+    backend: str = "fpga",
+    precision: str | None = None,
+    cartesian: bool = True,
+) -> Session:
+    """A cached runtime session for a production model on one backend.
+
+    ``precision=None`` keeps each backend's own default (fixed16 on the
+    FPGA backends, fp32 on the CPU baseline — the paper's pairing).  The
+    ``fpga`` backend reuses the cached :func:`plan` (one Algorithm 1 run
+    per model/merging setting, shared across precisions); other backends
+    build from their own defaults.
+    """
+    builder = get_backend(backend)
+    knobs: dict[str, object] = {"precision": precision}
+    if backend == "fpga":
+        knobs["plan"] = plan(name, cartesian)
+        if precision not in (None, "fp32"):
+            knobs["fpga_config"] = fpga_config(precision)
+    elif not cartesian:
+        raise ValueError(
+            f"cartesian=False only applies to the fpga backend, not {backend!r}"
+        )
+    return builder.build(model(name), **knobs)
+
+
 def accelerator(
     name: str, precision: str = "fixed16", cartesian: bool = True
 ) -> FpgaAcceleratorModel:
-    p = plan(name, cartesian)
-    return FpgaAcceleratorModel(
-        model(name), p.placement, p.timing, fpga_config(precision)
-    )
+    return session(name, "fpga", precision, cartesian).engine.accelerator
 
 
 @functools.lru_cache(maxsize=None)
 def cpu_model(name: str) -> CpuCostModel:
-    return CpuCostModel(model(name))
+    return session(name, "cpu").cost

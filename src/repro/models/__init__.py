@@ -1,10 +1,12 @@
 """Model zoo: production-scale specs, benchmark family, MLP, workloads."""
 
 from repro.models.spec import (
+    MODEL_FACTORIES,
     ModelSpec,
     dlrm_rmc2,
     production_large,
     production_small,
+    resolve_model,
 )
 from repro.models.mlp import (
     FIXED16,
@@ -25,10 +27,12 @@ from repro.models.training import (
 )
 
 __all__ = [
+    "MODEL_FACTORIES",
     "ModelSpec",
     "production_small",
     "production_large",
     "dlrm_rmc2",
+    "resolve_model",
     "Mlp",
     "FixedPointFormat",
     "FIXED16",

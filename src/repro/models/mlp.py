@@ -67,6 +67,15 @@ PRECISIONS = {
 }
 
 
+def check_precision(name: str) -> str:
+    """Validate a precision name against :data:`PRECISIONS` and return it."""
+    if name not in PRECISIONS:
+        raise ValueError(
+            f"unknown precision {name!r}; expected one of {sorted(PRECISIONS)}"
+        )
+    return name
+
+
 def sigmoid(x: np.ndarray) -> np.ndarray:
     # Split by sign for numerical stability at large |x|.
     out = np.empty_like(x, dtype=np.float32)

@@ -232,3 +232,30 @@ def dlrm_rmc2(
         hidden=(512, 256, 128),
         dense_dim=13,
     )
+
+
+#: Named model factories: the canonical string -> spec registry used by the
+#: runtime API (:func:`repro.deploy_model`), the CLI, and the experiment
+#: harness.  Each factory takes no required arguments.
+MODEL_FACTORIES = {
+    "small": production_small,
+    "large": production_large,
+    "dlrm-rmc2": dlrm_rmc2,
+}
+
+
+def resolve_model(model: "ModelSpec | str") -> ModelSpec:
+    """Resolve a model name or pass a spec through.
+
+    Accepts either a :class:`ModelSpec` (returned unchanged) or one of the
+    registered names in :data:`MODEL_FACTORIES`.
+    """
+    if isinstance(model, ModelSpec):
+        return model
+    try:
+        return MODEL_FACTORIES[model]()
+    except KeyError:
+        raise KeyError(
+            f"unknown model {model!r}; expected a ModelSpec or one of "
+            f"{sorted(MODEL_FACTORIES)}"
+        ) from None

@@ -1,0 +1,53 @@
+"""One-call deployment entry point: :func:`deploy_model`.
+
+The convenience frontend over the backend registry: name a model (or pass
+a spec), name a backend, get a live :class:`~repro.runtime.session.Session`
+back.
+"""
+
+from __future__ import annotations
+
+from repro.models.spec import ModelSpec, resolve_model
+from repro.runtime.backend import get_backend
+from repro.runtime.session import Session
+
+
+def deploy_model(
+    model: ModelSpec | str = "small",
+    backend: str = "fpga",
+    *,
+    max_rows: int | None = None,
+    **build_knobs: object,
+) -> Session:
+    """Deploy a recommendation model on a registered inference backend.
+
+    Parameters
+    ----------
+    model:
+        A :class:`~repro.models.spec.ModelSpec`, or a registered name from
+        :data:`repro.models.MODEL_FACTORIES` (``"small"``, ``"large"``,
+        ``"dlrm-rmc2"``).
+    backend:
+        A registered backend name (:func:`repro.runtime.available_backends`
+        lists them); unknown names raise
+        :class:`~repro.runtime.backend.UnknownBackendError`.
+    max_rows:
+        Optional per-table row cap applied before deployment
+        (:meth:`~repro.models.spec.ModelSpec.scaled`) — keeps functional
+        runs of industrial-shape models laptop-sized, and is required by
+        the ``fpga-compressed`` backend's 256 MiB materialisation limit.
+    build_knobs:
+        Forwarded to the backend's ``build`` — the shared knobs
+        (``memory``, ``timing``, ``precision``, ``seed``,
+        ``planner_config``) plus backend-specific ones.
+
+    Examples
+    --------
+    >>> session = deploy_model("small", backend="fpga", max_rows=4096)
+    >>> session.infer(QueryGenerator(session.model, seed=0).batch(8)).shape
+    (8,)
+    """
+    spec = resolve_model(model)
+    if max_rows is not None:
+        spec = spec.scaled(max_rows=max_rows)
+    return get_backend(backend).build(spec, **build_knobs)

@@ -1,0 +1,173 @@
+"""Built-in inference backends: ``fpga``, ``fpga-compressed``, ``cpu``.
+
+Each backend maps the uniform ``build(model, *, memory, precision, seed,
+**knobs)`` surface onto one of the repository's engines:
+
+* ``fpga`` — :class:`~repro.core.engine.MicroRecEngine`: Algorithm 1
+  planning onto the hybrid memory system, Cartesian-merged functional
+  lookups, and the pipelined accelerator timing model;
+* ``fpga-compressed`` — the same engine over int8-compressed embedding
+  tables (smaller footprints seen by the planner, on-the-fly dequantise on
+  the functional path);
+* ``cpu`` — :class:`~repro.cpu.baseline.CpuBaselineEngine` (the measured
+  NumPy reference) timed by the calibrated TensorFlow-Serving cost model.
+
+All three are registered at import time; :func:`repro.deploy_model` is the
+one-call entry point above them.
+"""
+
+from __future__ import annotations
+
+from repro.core.engine import MicroRecEngine
+from repro.core.planner import Plan, PlannerConfig
+from repro.core.tables import make_tables
+from repro.cpu.baseline import CpuBaselineEngine
+from repro.cpu.costmodel import CpuCostModel, CpuCostParams
+from repro.cpu.server import CpuServerSpec
+from repro.deploy.capacity import CPU_USD_PER_HOUR, FPGA_USD_PER_HOUR
+from repro.fpga.accelerator import FpgaConfig
+from repro.memory.spec import MemorySystemSpec
+from repro.memory.timing import MemoryTimingModel
+from repro.models.mlp import PRECISIONS, Mlp, check_precision
+from repro.models.spec import ModelSpec
+from repro.runtime.backend import register_backend
+from repro.runtime.session import CpuSession, FpgaSession, Session
+
+#: The batch size the paper selects for the CPU baseline comparisons
+#: ("larger batch sizes can break inference latency constraints").
+DEFAULT_CPU_SERVING_BATCH = 2048
+
+
+class FpgaBackend:
+    """MicroRec on the hybrid-memory FPGA (optionally compressed tables)."""
+
+    name = "fpga"
+    compress_tables = False
+
+    def build(
+        self,
+        model: ModelSpec,
+        *,
+        memory: MemorySystemSpec | None = None,
+        timing: MemoryTimingModel | None = None,
+        precision: str | None = None,
+        seed: int = 0,
+        planner_config: PlannerConfig | None = None,
+        fpga_config: FpgaConfig | None = None,
+        plan: Plan | None = None,
+        materialize_below_bytes: int = 0,
+        mlp: Mlp | None = None,
+        usd_per_hour: float = FPGA_USD_PER_HOUR,
+        **knobs: object,
+    ) -> Session:
+        """Plan, place, and assemble a MicroRec session.
+
+        ``precision`` selects the functional number format (``fixed16``
+        default, ``fp32`` allowed for reference runs — timed estimates then
+        use the closest realisable build, fixed32).  Unknown knobs are
+        rejected; knobs of other backends are not accepted here because
+        every FPGA knob is meaningful.
+        """
+        if knobs:
+            raise TypeError(
+                f"{self.name} backend got unexpected knobs {sorted(knobs)}"
+            )
+        precision = check_precision(precision or "fixed16")
+        if fpga_config is None:
+            hardware = "fixed32" if precision == "fp32" else precision
+            fpga_config = FpgaConfig(precision=hardware)
+        engine = MicroRecEngine.build(
+            model,
+            memory=memory,
+            timing=timing,
+            planner_config=planner_config,
+            fpga_config=fpga_config,
+            seed=seed,
+            materialize_below_bytes=materialize_below_bytes,
+            mlp=mlp,
+            compress_tables=self.compress_tables,
+            precision=precision,
+            plan=plan,
+        )
+        return FpgaSession(self.name, engine, precision, usd_per_hour)
+
+
+class FpgaCompressedBackend(FpgaBackend):
+    """MicroRec over int8 per-row-scale compressed embedding tables.
+
+    Compression materialises code arrays, so models must keep total
+    embedding storage under 256 MiB — use ``deploy_model(...,
+    max_rows=...)`` or :meth:`repro.models.ModelSpec.scaled`.
+    """
+
+    name = "fpga-compressed"
+    compress_tables = True
+
+
+class CpuBackend:
+    """The batched TensorFlow-Serving-style CPU baseline."""
+
+    name = "cpu"
+
+    def build(
+        self,
+        model: ModelSpec,
+        *,
+        memory: MemorySystemSpec | None = None,
+        timing: MemoryTimingModel | None = None,
+        precision: str | None = None,
+        seed: int = 0,
+        planner_config: PlannerConfig | None = None,
+        server: CpuServerSpec | None = None,
+        params: CpuCostParams | None = None,
+        serving_batch: int = DEFAULT_CPU_SERVING_BATCH,
+        batch_timeout_ms: float = 10.0,
+        materialize_below_bytes: int = 0,
+        mlp: Mlp | None = None,
+        usd_per_hour: float = CPU_USD_PER_HOUR,
+        **knobs: object,
+    ) -> Session:
+        """Assemble the CPU session: real tables + MLP, calibrated timing.
+
+        ``memory``, ``timing``, and ``planner_config`` do not apply to the
+        CPU engine (it has no placement problem); they are accepted and
+        ignored so one knob set can sweep every backend.  The engine uses
+        the *same* deterministic tables and MLP as the FPGA backends under
+        the same ``seed``, so cross-backend predictions agree bit-for-bit
+        at fp32.
+        """
+        if knobs:
+            raise TypeError(
+                f"{self.name} backend got unexpected knobs {sorted(knobs)}"
+            )
+        del memory, timing, planner_config  # no placement problem on CPU
+        precision = check_precision(precision or "fp32")
+        tables = make_tables(
+            model.tables,
+            seed=seed,
+            materialize_below_bytes=materialize_below_bytes,
+        )
+        if mlp is None:
+            mlp = Mlp.random(model.layer_dims, seed=seed)
+        engine = CpuBaselineEngine(model, tables, mlp)
+        cost = CpuCostModel(
+            model,
+            server=server or CpuServerSpec(),
+            params=params or CpuCostParams(),
+        )
+        return CpuSession(
+            self.name,
+            model,
+            engine,
+            cost,
+            precision,
+            PRECISIONS[precision],
+            serving_batch,
+            batch_timeout_ms,
+            usd_per_hour,
+        )
+
+
+register_backend(FpgaBackend())
+register_backend(FpgaCompressedBackend())
+register_backend(CpuBackend())

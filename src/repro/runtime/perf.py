@@ -1,0 +1,123 @@
+"""Backend-agnostic performance estimates.
+
+Every engine in the repository quotes performance in its own dialect:
+:class:`~repro.fpga.accelerator.FpgaPerformance` speaks single-item latency
+and pipeline initiation interval, while
+:class:`~repro.cpu.costmodel.CpuCostModel` speaks batch latency curves.
+:class:`PerfEstimate` normalises both into one record — latency, sustained
+throughput, compute rate, serving operating point, and node cost — so the
+serving and fleet-planning layers (and any future backend) compare engines
+without knowing what is underneath.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+from repro.cpu.costmodel import CpuCostModel
+from repro.fpga.accelerator import FpgaPerformance
+
+
+@dataclass(frozen=True)
+class PerfEstimate:
+    """Normalised performance summary of one deployed engine (one node).
+
+    ``serving_batch`` is the operating point at which throughput, serving
+    latency, and cost are quoted: 1 for pipelined engines that process
+    items one by one, the paper's baseline batch for batched engines.
+    """
+
+    backend: str
+    precision: str
+    #: End-to-end latency of a single isolated query (microseconds).
+    latency_us: float
+    #: Per-query latency at the serving operating point (milliseconds) —
+    #: what a fleet sized from this estimate promises each query.
+    serving_latency_ms: float
+    #: Sustained item spacing at capacity (nanoseconds): the pipeline
+    #: initiation interval, or the amortised per-item time of a batch.
+    ii_ns: float
+    throughput_items_per_s: float
+    throughput_gops: float
+    serving_batch: int
+    usd_per_hour: float
+    #: The stage or phase limiting throughput (e.g. an MLP GEMM stage for
+    #: the FPGA pipeline, ``"embedding"``/``"mlp"`` for the CPU engine).
+    bottleneck: str
+
+    def __post_init__(self) -> None:
+        if self.latency_us <= 0 or self.throughput_items_per_s <= 0:
+            raise ValueError(
+                f"{self.backend}: latency and throughput must be positive"
+            )
+        if self.serving_batch <= 0:
+            raise ValueError(
+                f"{self.backend}: serving_batch must be positive"
+            )
+
+    @property
+    def usd_per_million_queries(self) -> float:
+        """Node cost amortised at full sustained throughput."""
+        return (
+            self.usd_per_hour / 3600.0 / self.throughput_items_per_s * 1e6
+        )
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-serialisable summary (CLI ``--json`` output)."""
+        out: dict[str, object] = asdict(self)
+        out["usd_per_million_queries"] = self.usd_per_million_queries
+        return out
+
+    # -- normalising constructors ------------------------------------------
+
+    @classmethod
+    def from_fpga_performance(
+        cls,
+        perf: FpgaPerformance,
+        usd_per_hour: float,
+        backend: str = "fpga",
+        precision: str | None = None,
+    ) -> "PerfEstimate":
+        """Normalise an accelerator pipeline report.
+
+        Pipelined engines serve items one by one, so the serving operating
+        point is batch 1 and the serving latency equals the single-item
+        latency.
+        """
+        return cls(
+            backend=backend,
+            precision=precision or perf.precision,
+            latency_us=perf.single_item_latency_us,
+            serving_latency_ms=perf.single_item_latency_us / 1e3,
+            ii_ns=perf.ii_ns,
+            throughput_items_per_s=perf.throughput_items_per_s,
+            throughput_gops=perf.throughput_gops,
+            serving_batch=1,
+            usd_per_hour=usd_per_hour,
+            bottleneck=perf.bottleneck_stage,
+        )
+
+    @classmethod
+    def from_cpu_model(
+        cls,
+        cost: CpuCostModel,
+        serving_batch: int,
+        usd_per_hour: float,
+        backend: str = "cpu",
+        precision: str = "fp32",
+    ) -> "PerfEstimate":
+        """Normalise the batched CPU cost model at one operating batch."""
+        throughput = cost.throughput_items_per_s(serving_batch)
+        embedding_bound = cost.embedding_fraction(serving_batch) >= 0.5
+        return cls(
+            backend=backend,
+            precision=precision,
+            latency_us=cost.end_to_end_latency_ms(1) * 1e3,
+            serving_latency_ms=cost.end_to_end_latency_ms(serving_batch),
+            ii_ns=1e9 / throughput,
+            throughput_items_per_s=throughput,
+            throughput_gops=cost.throughput_gops(serving_batch),
+            serving_batch=serving_batch,
+            usd_per_hour=usd_per_hour,
+            bottleneck="embedding" if embedding_bound else "mlp",
+        )

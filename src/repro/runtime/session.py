@@ -1,0 +1,262 @@
+"""Deployed-engine sessions: one facade over every backend.
+
+A :class:`Session` is what :meth:`InferenceBackend.build` returns — a live,
+queryable deployment of one model on one engine.  Whatever the backend, a
+session answers the same four questions:
+
+* ``infer(batch)`` — real CTR predictions through the engine's data path;
+* ``perf()`` — a normalised :class:`~repro.runtime.perf.PerfEstimate`;
+* ``serve(arrivals)`` — queueing simulation of the engine under a query
+  stream, routed to the pipelined or batched server model as appropriate;
+* ``fleet(target_qps)`` — how many nodes of this engine a load needs.
+
+Concrete sessions (:class:`FpgaSession`, :class:`CpuSession`) expose their
+underlying engine via ``.engine`` for backend-specific detail (plans,
+resource reports, cost curves).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.core.engine import MicroRecEngine
+from repro.cpu.baseline import CpuBaselineEngine
+from repro.cpu.costmodel import CpuCostModel
+from repro.deploy.capacity import FleetPlan, plan_fleet_for
+from repro.fpga.accelerator import FpgaPerformance
+from repro.fpga.resources import ResourceReport
+from repro.models.mlp import FixedPointFormat, Mlp
+from repro.models.spec import ModelSpec
+from repro.models.workload import QueryBatch
+from repro.runtime.perf import PerfEstimate
+from repro.serving.queueing import (
+    BatchedServerSim,
+    PipelineServerSim,
+    ServingResult,
+)
+
+
+class Session(ABC):
+    """A deployed inference engine with a backend-agnostic surface."""
+
+    def __init__(
+        self,
+        backend: str,
+        model: ModelSpec,
+        precision: str,
+        usd_per_hour: float,
+    ):
+        self.backend = backend
+        self.model = model
+        self.precision = precision
+        self.usd_per_hour = usd_per_hour
+        self._perf_cache: PerfEstimate | None = None
+
+    # -- inference ----------------------------------------------------------
+
+    @abstractmethod
+    def infer(self, batch: QueryBatch) -> np.ndarray:
+        """Predicted CTR per query, shape ``(batch,)``."""
+
+    @abstractmethod
+    def reference(self) -> CpuBaselineEngine:
+        """fp32 CPU reference over the same tables and MLP weights."""
+
+    # -- performance --------------------------------------------------------
+
+    @abstractmethod
+    def _estimate_perf(self) -> PerfEstimate:
+        """Build this backend's normalised performance estimate."""
+
+    def perf(self) -> PerfEstimate:
+        """Normalised performance estimate for one node (cached)."""
+        if self._perf_cache is None:
+            self._perf_cache = self._estimate_perf()
+        return self._perf_cache
+
+    @abstractmethod
+    def batch_latency_ms(self, batch_size: int) -> float:
+        """End-to-end latency of one batch on this engine."""
+
+    # -- serving ------------------------------------------------------------
+
+    @abstractmethod
+    def server(self, **knobs: object) -> BatchedServerSim | PipelineServerSim:
+        """The queueing simulator modelling this engine under load."""
+
+    def serve(
+        self, arrivals_ns: np.ndarray, **server_knobs: object
+    ) -> ServingResult:
+        """Simulate this engine serving a stream of arrival timestamps."""
+        return self.server(**server_knobs).run(
+            np.asarray(arrivals_ns, dtype=np.float64)
+        )
+
+    def fleet(self, target_qps: float, headroom: float = 0.7) -> FleetPlan:
+        """Size a fleet of this engine for ``target_qps``."""
+        return plan_fleet_for(target_qps, [self.perf()], headroom=headroom)[
+            self.backend
+        ]
+
+    # -- reporting ----------------------------------------------------------
+
+    def summary(self) -> dict[str, object]:
+        perf = self.perf()
+        out: dict[str, object] = {
+            "backend": self.backend,
+            "model": self.model.name,
+            "precision": self.precision,
+            "latency_us": perf.latency_us,
+            "throughput_items_per_s": perf.throughput_items_per_s,
+            "usd_per_hour": perf.usd_per_hour,
+        }
+        out.update(self._extra_summary())
+        return out
+
+    def _extra_summary(self) -> dict[str, object]:
+        return {}
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(backend={self.backend!r}, "
+            f"model={self.model.name!r}, precision={self.precision!r})"
+        )
+
+
+class FpgaSession(Session):
+    """A MicroRec engine deployed behind the session facade.
+
+    ``precision`` is the *functional* number format (may be ``"fp32"`` for
+    reference runs); the timed estimates come from the engine's hardware
+    config, which is always a realisable fixed-point build.
+    """
+
+    def __init__(
+        self,
+        backend: str,
+        engine: MicroRecEngine,
+        precision: str,
+        usd_per_hour: float,
+    ):
+        super().__init__(backend, engine.model, precision, usd_per_hour)
+        self.engine = engine
+
+    @property
+    def plan(self):
+        """The planner result (Algorithm 1) this deployment runs under."""
+        return self.engine.plan
+
+    def infer(self, batch: QueryBatch) -> np.ndarray:
+        return self.engine.infer(batch)
+
+    def reference(self) -> CpuBaselineEngine:
+        return self.engine.reference_engine()
+
+    def performance(self, lookup_rounds: int = 1) -> FpgaPerformance:
+        """The raw accelerator pipeline report (backend-specific)."""
+        return self.engine.performance(lookup_rounds=lookup_rounds)
+
+    def resources(self) -> ResourceReport:
+        """FPGA resource usage of this build (backend-specific)."""
+        return self.engine.resources()
+
+    def _estimate_perf(self) -> PerfEstimate:
+        return PerfEstimate.from_fpga_performance(
+            self.performance(),
+            usd_per_hour=self.usd_per_hour,
+            backend=self.backend,
+            precision=self.precision,
+        )
+
+    def batch_latency_ms(self, batch_size: int) -> float:
+        return self.performance().batch_latency_ms(batch_size)
+
+    def server(self, **knobs: object) -> PipelineServerSim:
+        perf = self.perf()
+        if knobs:
+            raise TypeError(
+                f"pipelined server takes no knobs, got {sorted(knobs)}"
+            )
+        return PipelineServerSim(perf.latency_us, perf.ii_ns)
+
+    def _extra_summary(self) -> dict[str, object]:
+        out = self.engine.plan.summary()
+        out["bottleneck"] = self.perf().bottleneck
+        return out
+
+
+class CpuSession(Session):
+    """The batched CPU baseline deployed behind the session facade.
+
+    Functional inference runs the plain NumPy path (optionally quantised to
+    a fixed-point format for apples-to-apples accuracy studies); timing
+    comes from the calibrated :class:`~repro.cpu.costmodel.CpuCostModel`.
+    """
+
+    def __init__(
+        self,
+        backend: str,
+        model: ModelSpec,
+        engine: CpuBaselineEngine,
+        cost: CpuCostModel,
+        precision: str,
+        fixed_point: FixedPointFormat | None,
+        serving_batch: int,
+        batch_timeout_ms: float,
+        usd_per_hour: float,
+    ):
+        super().__init__(backend, model, precision, usd_per_hour)
+        self.engine = engine
+        self.cost = cost
+        self.fixed_point = fixed_point
+        self.serving_batch = serving_batch
+        self.batch_timeout_ms = batch_timeout_ms
+        self._mlp_device: Mlp = (
+            engine.mlp.quantized(fixed_point) if fixed_point else engine.mlp
+        )
+
+    def infer(self, batch: QueryBatch) -> np.ndarray:
+        feats = self.engine.embed(batch)
+        return self._mlp_device.forward(feats, fmt=self.fixed_point)
+
+    def reference(self) -> CpuBaselineEngine:
+        return self.engine
+
+    def _estimate_perf(self) -> PerfEstimate:
+        return PerfEstimate.from_cpu_model(
+            self.cost,
+            serving_batch=self.serving_batch,
+            usd_per_hour=self.usd_per_hour,
+            backend=self.backend,
+            precision=self.precision,
+        )
+
+    def batch_latency_ms(self, batch_size: int) -> float:
+        return self.cost.end_to_end_latency_ms(batch_size)
+
+    def server(
+        self,
+        batch_size: int | None = None,
+        batch_timeout_ms: float | None = None,
+    ) -> BatchedServerSim:
+        return BatchedServerSim(
+            self.cost.end_to_end_latency_ms,
+            batch_size=batch_size or self.serving_batch,
+            batch_timeout_ms=(
+                self.batch_timeout_ms
+                if batch_timeout_ms is None
+                else batch_timeout_ms
+            ),
+        )
+
+    def _extra_summary(self) -> dict[str, object]:
+        return {
+            "serving_batch": self.serving_batch,
+            "serving_latency_ms": self.perf().serving_latency_ms,
+            "embedding_fraction": self.cost.embedding_fraction(
+                self.serving_batch
+            ),
+            "bottleneck": self.perf().bottleneck,
+        }
