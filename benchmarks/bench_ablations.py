@@ -5,8 +5,6 @@ decision (AXI width, on-chip caching, the rule-3 pairing order, heuristic
 vs exhaustive search) and measures its effect with everything else fixed.
 """
 
-import pytest
-
 from repro.core.allocation import allocate_to_banks
 from repro.core.bruteforce import brute_force_plan
 from repro.core.cartesian import MergeGroup

@@ -1,0 +1,31 @@
+"""Wall-clock bench of the cross-backend sweep (``repro.bench``).
+
+The canonical entry point for cross-backend numbers is the CLI —
+``repro bench [--quick] [--json]`` — which CI runs on every push
+(``bench-smoke`` job).  This module times the same sweep under
+pytest-benchmark and guards the paper's comparative claims on the
+artifact it produces.
+"""
+
+from repro.bench import BenchConfig, run_bench, validate_payload
+
+
+def test_bench_quick_sweep(benchmark):
+    config = BenchConfig.quick_config(
+        backends=("fpga", "cpu", "gpu", "nmp"), max_rows=256,
+        name="bench-smoke",
+    )
+    payload = benchmark.pedantic(
+        run_bench, args=(config,), iterations=1, rounds=1
+    )
+    validate_payload(payload)
+    benchmark.extra_info["results"] = len(payload["results"])
+
+    perf = {r["backend"]: r["perf"] for r in payload["results"]}
+    # The paper's ordering must survive the sweep: MicroRec cheapest per
+    # query and lowest latency; the GPU cost-effective only through its
+    # huge batches; NMP between GPU and CPU.
+    cost = {b: p["usd_per_million_queries"] for b, p in perf.items()}
+    assert cost["fpga"] < cost["gpu"] < cost["nmp"] < cost["cpu"]
+    assert perf["fpga"]["latency_us"] < perf["nmp"]["latency_us"]
+    assert perf["gpu"]["latency_us"] > perf["cpu"]["latency_us"]

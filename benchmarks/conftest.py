@@ -6,6 +6,15 @@ computational core, the rendered paper-vs-measured table is printed to
 stdout (run with ``-s`` to see it inline; it is also attached to the
 benchmark's ``extra_info``), and shape assertions guard the qualitative
 claims.
+
+For *cross-backend* numbers, the machine-readable entry point is
+``repro bench`` (the :mod:`repro.bench` subsystem): it sweeps registered
+backends × models × batch sizes into a schema-versioned
+``BENCH_<name>.json`` that CI validates and archives on every push.  The
+modules here need pytest-benchmark and an explicit collection override::
+
+    pip install pytest-benchmark
+    PYTHONPATH=src python -m pytest benchmarks -o python_files='bench_*.py'
 """
 
 from __future__ import annotations

@@ -76,7 +76,9 @@ from repro.models import (
 from repro.runtime import (
     CpuSession,
     FpgaSession,
+    GpuSession,
     InferenceBackend,
+    NmpSession,
     PerfEstimate,
     Session,
     UnknownBackendError,
@@ -93,6 +95,8 @@ __all__ = [
     "Session",
     "FpgaSession",
     "CpuSession",
+    "GpuSession",
+    "NmpSession",
     "PerfEstimate",
     "InferenceBackend",
     "UnknownBackendError",

@@ -94,3 +94,25 @@ class GpuCostModel:
 
     def throughput_items_per_s(self, batch: int) -> float:
         return batch / (self.end_to_end_latency_ms(batch) / 1e3)
+
+    def throughput_gops(self, batch: int) -> float:
+        return (
+            self.throughput_items_per_s(batch)
+            * self.model.ops_per_inference
+            / 1e9
+        )
+
+    def bottleneck(self, batch: int) -> str:
+        """The largest latency component at ``batch``.
+
+        ``launch`` folds in the per-operator kernel-launch overhead — both
+        are fixed per-batch framework costs, and together they are why GPUs
+        lose at small batches (Gupta et al. 2020a).
+        """
+        components = {
+            "launch": self.gpu.launch_ms + self.op_overhead_ms(),
+            "transfer": self.transfer_ms(batch),
+            "embedding": self.embedding_ms(batch),
+            "mlp": self.mlp_ms(batch),
+        }
+        return max(components, key=components.__getitem__)

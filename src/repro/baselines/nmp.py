@@ -65,3 +65,10 @@ class NmpCostModel:
 
     def throughput_items_per_s(self, batch: int) -> float:
         return self._adjusted().throughput_items_per_s(batch)
+
+    def throughput_gops(self, batch: int) -> float:
+        return self._adjusted().throughput_gops(batch)
+
+    def embedding_fraction(self, batch: int) -> float:
+        """Share of time still in the (accelerated) embedding layer."""
+        return self._adjusted().embedding_fraction(batch)

@@ -1,0 +1,5 @@
+"""Validate benchmark artifacts: ``python -m repro.bench FILE [FILE ...]``."""
+
+from repro.bench.schema import main
+
+raise SystemExit(main())

@@ -1,0 +1,90 @@
+"""Regression deltas between two benchmark artifacts.
+
+``repro bench --compare old.json`` attaches the output of
+:func:`compare_payloads` to the fresh payload: per (model, backend) pair,
+the old and new value of each headline metric and the signed percentage
+delta.  Positive ``delta_pct`` means the metric *grew* — an improvement
+for throughput, a regression for latency and cost; the ``regressions``
+helper applies that sign convention, and ``repro bench --compare old.json
+--fail-on-regression [PCT]`` exits non-zero on its output so CI can gate
+on it directly.
+"""
+
+from __future__ import annotations
+
+from repro.bench.schema import validate_payload
+
+#: Headline metrics compared per (model, backend) pair, with the direction
+#: that counts as a regression when the metric grows.
+METRICS = {
+    "latency_us": "higher-is-worse",
+    "serving_latency_ms": "higher-is-worse",
+    "throughput_items_per_s": "lower-is-worse",
+    "usd_per_million_queries": "higher-is-worse",
+}
+
+
+def _by_pair(payload: dict) -> dict[tuple[str, str], dict]:
+    return {
+        (result["model"], result["backend"]): result
+        for result in payload["results"]
+    }
+
+
+def compare_payloads(old: dict, new: dict) -> dict[str, object]:
+    """Diff two validated payloads into a regression-delta record.
+
+    Pairs present in only one payload are listed under ``removed`` /
+    ``added`` rather than failing — sweeps legitimately grow backends.
+    Raises :class:`~repro.bench.schema.BenchSchemaError` if either payload
+    does not conform to the schema.
+    """
+    validate_payload(old)
+    validate_payload(new)
+    old_pairs = _by_pair(old)
+    new_pairs = _by_pair(new)
+    entries = []
+    for key in sorted(old_pairs.keys() & new_pairs.keys()):
+        old_perf = old_pairs[key]["perf"]
+        new_perf = new_pairs[key]["perf"]
+        deltas = {}
+        for metric in METRICS:
+            before, after = old_perf[metric], new_perf[metric]
+            deltas[metric] = {
+                "old": before,
+                "new": after,
+                "delta_pct": (after - before) / before * 100.0,
+            }
+        entries.append(
+            {"model": key[0], "backend": key[1], "metrics": deltas}
+        )
+    return {
+        "baseline_name": old["name"],
+        "entries": entries,
+        "removed": sorted(
+            f"{m}/{b}" for m, b in old_pairs.keys() - new_pairs.keys()
+        ),
+        "added": sorted(
+            f"{m}/{b}" for m, b in new_pairs.keys() - old_pairs.keys()
+        ),
+    }
+
+
+def regressions(
+    comparison: dict, threshold_pct: float = 5.0
+) -> list[str]:
+    """Human-readable regression lines worse than ``threshold_pct``."""
+    lines = []
+    for entry in comparison["entries"]:
+        for metric, direction in METRICS.items():
+            delta = entry["metrics"][metric]["delta_pct"]
+            worse = delta > threshold_pct if direction == "higher-is-worse" \
+                else delta < -threshold_pct
+            if worse:
+                lines.append(
+                    f"{entry['model']}/{entry['backend']}: {metric} "
+                    f"{'rose' if delta > 0 else 'fell'} {abs(delta):.1f}% "
+                    f"({entry['metrics'][metric]['old']:.6g} -> "
+                    f"{entry['metrics'][metric]['new']:.6g})"
+                )
+    return lines

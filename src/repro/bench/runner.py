@@ -1,0 +1,211 @@
+"""The benchmark sweep: registered backends × model specs × batch sizes.
+
+This is the machine-readable successor to the ad-hoc ``benchmarks/bench_*``
+scripts: one :func:`run_bench` call deploys every requested (model,
+backend) pair through :func:`repro.deploy_model`, collects the normalised
+:class:`~repro.runtime.perf.PerfEstimate`, the batch-latency curve, the
+fleet plan for a target load, the planner statistics (planning backends
+only), and wall-clock timings, and returns one schema-versioned payload
+(see :mod:`repro.bench.schema`).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import time
+from dataclasses import asdict, dataclass
+from typing import Callable
+
+from repro.models.spec import MODEL_FACTORIES
+from repro.runtime import available_backends, deploy_model
+
+from repro.bench.schema import SCHEMA_VERSION, SUITE, validate_payload
+
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+#: The default fleet-sizing load: the paper's appendix prices engines at
+#: web scale, and one million queries per second keeps node counts in a
+#: range where the cost ordering is visible.
+DEFAULT_TARGET_QPS = 1_000_000.0
+
+
+@dataclass(frozen=True)
+class BenchConfig:
+    """One benchmark sweep: what to deploy and where to operate it."""
+
+    models: tuple[str, ...] = ("small",)
+    #: Backend names to sweep; empty means every registered backend.
+    backends: tuple[str, ...] = ()
+    batches: tuple[int, ...] = (1, 64, 512, 2048)
+    #: Per-table row cap applied before deployment (keeps the functional
+    #: engines laptop-sized; ``None`` deploys the full tables).
+    max_rows: int | None = 4096
+    seed: int = 0
+    quick: bool = False
+    target_qps: float = DEFAULT_TARGET_QPS
+    #: Artifact name: the sweep writes ``BENCH_<name>.json``.
+    name: str = "full"
+
+    def __post_init__(self) -> None:
+        if not self.models:
+            raise ValueError("models must not be empty")
+        if len(set(self.models)) != len(self.models):
+            raise ValueError(f"duplicate models in {self.models}")
+        if len(set(self.backends)) != len(self.backends):
+            raise ValueError(f"duplicate backends in {self.backends}")
+        if not self.batches:
+            raise ValueError("batches must not be empty")
+        if any(b <= 0 for b in self.batches):
+            raise ValueError(f"batches must be positive, got {self.batches}")
+        if len(set(self.batches)) != len(self.batches):
+            raise ValueError(f"duplicate batches in {self.batches}")
+        if self.max_rows is not None and self.max_rows <= 0:
+            raise ValueError(f"max_rows must be positive, got {self.max_rows}")
+        if self.target_qps <= 0:
+            raise ValueError(
+                f"target_qps must be positive, got {self.target_qps}"
+            )
+        if not _NAME_RE.match(self.name):
+            raise ValueError(
+                f"name must match {_NAME_RE.pattern}, got {self.name!r}"
+            )
+
+    @classmethod
+    def quick_config(cls, **overrides: object) -> "BenchConfig":
+        """The CI-sized sweep: small batches, heavily row-capped tables.
+
+        Completes in well under two minutes across all five built-in
+        backends; any field can still be overridden.
+        """
+        base: dict[str, object] = {
+            "models": ("small",),
+            "batches": (1, 64, 512),
+            "max_rows": 256,
+            "quick": True,
+            "name": "quick",
+        }
+        base.update(overrides)
+        return cls(**base)  # type: ignore[arg-type]
+
+    def resolved_backends(self) -> tuple[str, ...]:
+        return tuple(self.backends) or available_backends()
+
+
+def _check_names(config: BenchConfig) -> None:
+    unknown_models = [m for m in config.models if m not in MODEL_FACTORIES]
+    if unknown_models:
+        raise ValueError(
+            f"unknown model(s) {unknown_models}; "
+            f"available: {sorted(MODEL_FACTORIES)}"
+        )
+    registered = set(available_backends())
+    unknown_backends = [
+        b for b in config.resolved_backends() if b not in registered
+    ]
+    if unknown_backends:
+        raise ValueError(
+            f"unknown backend(s) {unknown_backends}; "
+            f"registered: {sorted(registered)}"
+        )
+
+
+def _bench_one(
+    model_name: str, backend: str, config: BenchConfig
+) -> dict[str, object]:
+    """Deploy one (model, backend) pair and measure everything we quote."""
+    started = time.perf_counter()
+    session = deploy_model(
+        model_name,
+        backend=backend,
+        max_rows=config.max_rows,
+        seed=config.seed,
+    )
+    perf = session.perf()
+    latencies = {
+        str(batch): session.batch_latency_ms(batch)
+        for batch in config.batches
+    }
+    fleet = session.fleet(config.target_qps)
+    plan = getattr(session, "plan", None)
+    return {
+        "model": model_name,
+        "backend": backend,
+        "precision": session.precision,
+        "perf": perf.as_dict(),
+        "batch_latency_ms": latencies,
+        "fleet": fleet.as_dict(),
+        "planner": plan.summary() if plan is not None else None,
+        "wall_clock_s": time.perf_counter() - started,
+    }
+
+
+def run_bench(
+    config: BenchConfig,
+    log: Callable[[str], None] | None = None,
+) -> dict[str, object]:
+    """Run one sweep and return the schema-versioned payload.
+
+    ``log`` receives one progress line per (model, backend) pair; pass a
+    stderr writer so stdout can stay machine-readable.  The payload is
+    validated against :mod:`repro.bench.schema` before it is returned, so
+    a malformed artifact can never leave this function.
+    """
+    _check_names(config)
+    emit = log or (lambda _message: None)
+    started = time.perf_counter()
+    results = []
+    backends = config.resolved_backends()
+    for model_name in config.models:
+        for backend in backends:
+            result = _bench_one(model_name, backend, config)
+            perf = result["perf"]
+            emit(
+                f"bench {model_name}/{backend}: "
+                f"{perf['latency_us']:.1f} us/query, "
+                f"{perf['throughput_items_per_s']:,.0f} items/s, "
+                f"${perf['usd_per_million_queries']:.4f}/1M "
+                f"({result['wall_clock_s']:.2f}s)"
+            )
+            results.append(result)
+    payload: dict[str, object] = {
+        "suite": SUITE,
+        "schema_version": SCHEMA_VERSION,
+        "name": config.name,
+        "config": {
+            "models": list(config.models),
+            "backends": list(backends),
+            "batches": list(config.batches),
+            "max_rows": config.max_rows,
+            "seed": config.seed,
+            "quick": config.quick,
+            "target_qps": config.target_qps,
+        },
+        "results": results,
+        "wall_clock_s": time.perf_counter() - started,
+    }
+    return validate_payload(payload)
+
+
+def default_output_path(name: str) -> str:
+    """The conventional artifact filename for a sweep name."""
+    return f"BENCH_{name}.json"
+
+
+def write_payload(payload: dict[str, object], path: str) -> None:
+    """Write a validated payload to ``path`` (2-space indent + newline)."""
+    validate_payload(payload)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+
+
+def config_summary(config: BenchConfig) -> str:
+    """One human line describing a sweep (CLI progress header)."""
+    fields = asdict(config)
+    fields["backends"] = list(config.resolved_backends())
+    return (
+        f"sweep {fields['name']}: models={list(config.models)} "
+        f"backends={fields['backends']} batches={list(config.batches)} "
+        f"max_rows={config.max_rows} target_qps={config.target_qps:,.0f}"
+    )

@@ -1,0 +1,262 @@
+"""Schema of the ``BENCH_<name>.json`` benchmark artifact.
+
+One schema version covers one shape of payload; consumers (the CI
+``bench-smoke`` job, ``repro bench --compare``, plotting scripts) refuse
+anything else.  The validator is hand-rolled — it needs to run from a bare
+``numpy``-only install, so no ``jsonschema`` dependency — and reports the
+JSON path of the first offending field.
+
+Run as a module to validate a file (the CI job does exactly this)::
+
+    python -m repro.bench BENCH_quick.json
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import sys
+from typing import Sequence
+
+#: Version of the payload shape documented here.  Bump on any change that
+#: could break a consumer: removed/renamed keys, changed types or units.
+SCHEMA_VERSION = 1
+
+#: The ``suite`` discriminator: distinguishes our artifacts from any other
+#: JSON a pipeline might hand the validator.
+SUITE = "repro-bench"
+
+#: Numeric fields every ``perf`` record must carry, all strictly positive
+#: (mirrors :class:`repro.runtime.perf.PerfEstimate`).
+PERF_POSITIVE_FIELDS = (
+    "latency_us",
+    "serving_latency_ms",
+    "ii_ns",
+    "throughput_items_per_s",
+    "throughput_gops",
+    "serving_batch",
+    "usd_per_hour",
+    "usd_per_million_queries",
+)
+
+#: Numeric fields every ``fleet`` record must carry, all strictly positive
+#: (mirrors :class:`repro.deploy.capacity.FleetPlan.as_dict`).
+FLEET_POSITIVE_FIELDS = (
+    "target_qps",
+    "nodes",
+    "per_node_qps",
+    "fleet_qps",
+    "usd_per_hour",
+    "usd_per_million_queries",
+    "latency_ms",
+    "utilisation",
+)
+
+
+class BenchSchemaError(ValueError):
+    """A payload does not conform to the benchmark artifact schema."""
+
+
+def _fail(path: str, message: str) -> None:
+    raise BenchSchemaError(f"{path}: {message}")
+
+
+def _get(obj: dict, path: str, key: str) -> object:
+    if key not in obj:
+        _fail(f"{path}.{key}", "missing required key")
+    return obj[key]
+
+
+def _check_str(obj: dict, path: str, key: str) -> str:
+    value = _get(obj, path, key)
+    if not isinstance(value, str) or not value:
+        _fail(f"{path}.{key}", f"expected a non-empty string, got {value!r}")
+    return value
+
+
+def _check_number(
+    obj: dict, path: str, key: str, *, minimum: float | None = None,
+    exclusive: bool = False,
+) -> float:
+    value = _get(obj, path, key)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        _fail(f"{path}.{key}", f"expected a number, got {value!r}")
+    # json.load happily parses bare NaN/Infinity, and NaN sails through
+    # every comparison below — reject non-finite values outright so the
+    # CI gate (and --compare's delta arithmetic) can trust the artifact.
+    if not math.isfinite(value):
+        _fail(f"{path}.{key}", f"expected a finite number, got {value!r}")
+    if minimum is not None:
+        if exclusive and value <= minimum:
+            _fail(f"{path}.{key}", f"expected > {minimum}, got {value!r}")
+        if not exclusive and value < minimum:
+            _fail(f"{path}.{key}", f"expected >= {minimum}, got {value!r}")
+    return float(value)
+
+
+def _check_str_list(obj: dict, path: str, key: str) -> list[str]:
+    value = _get(obj, path, key)
+    if not isinstance(value, list) or not value:
+        _fail(f"{path}.{key}", f"expected a non-empty list, got {value!r}")
+    for i, item in enumerate(value):
+        if not isinstance(item, str) or not item:
+            _fail(f"{path}.{key}[{i}]", f"expected a string, got {item!r}")
+    return value
+
+
+def _check_config(config: object, path: str) -> None:
+    if not isinstance(config, dict):
+        _fail(path, f"expected an object, got {config!r}")
+    _check_str_list(config, path, "models")
+    _check_str_list(config, path, "backends")
+    batches = _get(config, path, "batches")
+    if not isinstance(batches, list) or not batches:
+        _fail(f"{path}.batches", f"expected a non-empty list, got {batches!r}")
+    for i, batch in enumerate(batches):
+        if isinstance(batch, bool) or not isinstance(batch, int) or batch <= 0:
+            _fail(
+                f"{path}.batches[{i}]",
+                f"expected a positive integer, got {batch!r}",
+            )
+    max_rows = _get(config, path, "max_rows")
+    if max_rows is not None and (
+        isinstance(max_rows, bool)
+        or not isinstance(max_rows, int)
+        or max_rows <= 0
+    ):
+        _fail(
+            f"{path}.max_rows",
+            f"expected null or a positive integer, got {max_rows!r}",
+        )
+    seed = _get(config, path, "seed")
+    if isinstance(seed, bool) or not isinstance(seed, int):
+        _fail(f"{path}.seed", f"expected an integer, got {seed!r}")
+    quick = _get(config, path, "quick")
+    if not isinstance(quick, bool):
+        _fail(f"{path}.quick", f"expected a boolean, got {quick!r}")
+    _check_number(config, path, "target_qps", minimum=0, exclusive=True)
+
+
+def _check_perf(perf: object, path: str) -> None:
+    if not isinstance(perf, dict):
+        _fail(path, f"expected an object, got {perf!r}")
+    _check_str(perf, path, "backend")
+    _check_str(perf, path, "precision")
+    _check_str(perf, path, "bottleneck")
+    for key in PERF_POSITIVE_FIELDS:
+        _check_number(perf, path, key, minimum=0, exclusive=True)
+
+
+def _check_fleet(fleet: object, path: str) -> None:
+    if not isinstance(fleet, dict):
+        _fail(path, f"expected an object, got {fleet!r}")
+    _check_str(fleet, path, "engine")
+    for key in FLEET_POSITIVE_FIELDS:
+        _check_number(fleet, path, key, minimum=0, exclusive=True)
+
+
+def _check_result(result: object, path: str) -> None:
+    if not isinstance(result, dict):
+        _fail(path, f"expected an object, got {result!r}")
+    _check_str(result, path, "model")
+    _check_str(result, path, "backend")
+    _check_str(result, path, "precision")
+    _check_perf(_get(result, path, "perf"), f"{path}.perf")
+    latencies = _get(result, path, "batch_latency_ms")
+    if not isinstance(latencies, dict) or not latencies:
+        _fail(
+            f"{path}.batch_latency_ms",
+            f"expected a non-empty object, got {latencies!r}",
+        )
+    for key in latencies:
+        if not isinstance(key, str) or not key.isdigit() or int(key) <= 0:
+            _fail(
+                f"{path}.batch_latency_ms",
+                f"batch keys must be positive-integer strings, got {key!r}",
+            )
+        _check_number(
+            latencies, f"{path}.batch_latency_ms", key,
+            minimum=0, exclusive=True,
+        )
+    _check_fleet(_get(result, path, "fleet"), f"{path}.fleet")
+    planner = _get(result, path, "planner")
+    if planner is not None and not isinstance(planner, dict):
+        _fail(f"{path}.planner", f"expected null or an object, got {planner!r}")
+    _check_number(result, path, "wall_clock_s", minimum=0)
+
+
+def validate_payload(payload: object) -> dict:
+    """Validate one benchmark payload against schema version 1.
+
+    Returns the payload (typed as a dict) so calls can be chained; raises
+    :class:`BenchSchemaError` naming the offending JSON path otherwise.
+    Unknown extra keys are allowed everywhere — the schema pins what
+    consumers rely on, not what producers may add.
+    """
+    if not isinstance(payload, dict):
+        raise BenchSchemaError(
+            f"$: expected a JSON object, got {type(payload).__name__}"
+        )
+    suite = _check_str(payload, "$", "suite")
+    if suite != SUITE:
+        _fail("$.suite", f"expected {SUITE!r}, got {suite!r}")
+    version = _get(payload, "$", "schema_version")
+    # isinstance guard: bool compares equal to int (True == 1), and every
+    # other numeric field rejects bool the same way.
+    if isinstance(version, bool) or version != SCHEMA_VERSION:
+        _fail(
+            "$.schema_version",
+            f"expected {SCHEMA_VERSION}, got {version!r} "
+            "(regenerate the artifact or upgrade the consumer)",
+        )
+    _check_str(payload, "$", "name")
+    _check_config(_get(payload, "$", "config"), "$.config")
+    _check_number(payload, "$", "wall_clock_s", minimum=0)
+    results = _get(payload, "$", "results")
+    if not isinstance(results, list) or not results:
+        _fail("$.results", f"expected a non-empty list, got {results!r}")
+    seen: set[tuple[str, str]] = set()
+    for i, result in enumerate(results):
+        path = f"$.results[{i}]"
+        _check_result(result, path)
+        key = (result["model"], result["backend"])
+        if key in seen:
+            _fail(path, f"duplicate (model, backend) entry {key!r}")
+        seen.add(key)
+    return payload
+
+
+def validate_file(path: str) -> dict:
+    """Load ``path`` as JSON and validate it; returns the payload."""
+    try:
+        with open(path, encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except OSError as exc:
+        raise BenchSchemaError(f"cannot read {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise BenchSchemaError(f"{path} is not valid JSON: {exc}") from exc
+    return validate_payload(payload)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Validate benchmark artifact files; exit non-zero on the first bad one."""
+    args = list(sys.argv[1:] if argv is None else argv)
+    if not args:
+        print("usage: python -m repro.bench.schema FILE [FILE ...]",
+              file=sys.stderr)
+        return 2
+    for path in args:
+        try:
+            payload = validate_file(path)
+        except BenchSchemaError as exc:
+            print(f"FAIL {path}: {exc}", file=sys.stderr)
+            return 1
+        print(
+            f"ok {path}: schema v{payload['schema_version']}, "
+            f"{len(payload['results'])} result(s)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -6,13 +6,16 @@ Usage::
     repro plan MODEL [options]             # run Algorithm 1 on a model
     repro infer MODEL [options]            # deploy a backend, run inference
     repro fleet MODEL QPS [options]        # size fleets for a target load
+    repro bench [options]                  # backend x model x batch sweep
     repro info                             # library / model overview
 
 (Also runnable as ``python -m repro``.)  ``MODEL`` is a registered model
 name (``small``, ``large``, ``dlrm-rmc2``); ``--backend`` selects a
-registered inference backend (``fpga``, ``fpga-compressed``, ``cpu``).
-``--json`` on ``plan``/``infer``/``fleet``/``info`` emits machine-readable
-output for scripting.
+registered inference backend (``fpga``, ``fpga-compressed``, ``cpu``,
+``gpu``, ``nmp``).  ``--json`` on ``plan``/``infer``/``fleet``/``bench``/
+``info`` emits machine-readable output for scripting: with ``--json``,
+stdout carries *only* the JSON document (progress goes to stderr), so the
+output pipes straight into ``python -m json.tool``.
 """
 
 from __future__ import annotations
@@ -220,6 +223,112 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import (
+        BenchConfig,
+        BenchSchemaError,
+        compare_payloads,
+        config_summary,
+        default_output_path,
+        regressions,
+        run_bench,
+        validate_file,
+        write_payload,
+    )
+
+    overrides: dict[str, object] = {}
+    if args.model:
+        overrides["models"] = tuple(args.model)
+    if args.backend:
+        overrides["backends"] = tuple(args.backend)
+    if args.batch:
+        overrides["batches"] = tuple(args.batch)
+    if args.max_rows is not None:
+        overrides["max_rows"] = args.max_rows
+    if args.name:
+        overrides["name"] = args.name
+    overrides["seed"] = args.seed
+    overrides["target_qps"] = args.qps
+    try:
+        if args.quick:
+            config = BenchConfig.quick_config(**overrides)
+        else:
+            config = BenchConfig(**overrides)
+    except ValueError as exc:
+        return _fail(str(exc))
+
+    # Progress always goes to stderr so that with --json stdout carries
+    # only the JSON document (CI pipes it into the schema validator).
+    def log(message: str) -> None:
+        print(message, file=sys.stderr)
+
+    log(config_summary(config))
+    try:
+        payload = run_bench(config, log=log)
+    except ValueError as exc:
+        return _fail(str(exc))
+    if args.fail_on_regression is not None and not args.compare:
+        return _fail(
+            "--fail-on-regression needs --compare OLD.json to diff against"
+        )
+    regression_lines: list[str] = []
+    if args.compare:
+        try:
+            baseline = validate_file(args.compare)
+        except BenchSchemaError as exc:
+            return _fail(f"--compare baseline rejected: {exc}")
+        payload["comparison"] = compare_payloads(baseline, payload)
+        threshold = (
+            5.0 if args.fail_on_regression is None else args.fail_on_regression
+        )
+        regression_lines = regressions(
+            payload["comparison"], threshold_pct=threshold
+        )
+
+    def gate() -> int:
+        """Exit 1 when --fail-on-regression is armed and deltas trip it."""
+        if args.fail_on_regression is not None and regression_lines:
+            for line in regression_lines:
+                log(f"regression: {line}")
+            log(
+                f"{len(regression_lines)} regression(s) worse than "
+                f"{args.fail_on_regression:g}% vs {args.compare}"
+            )
+            return 1
+        return 0
+
+    out_path = args.output or default_output_path(config.name)
+    write_payload(payload, out_path)
+    log(f"wrote {out_path}")
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return gate()
+    print(f"benchmark sweep {config.name!r} "
+          f"({payload['wall_clock_s']:.2f}s) -> {out_path}")
+    width = max(
+        len(f"{r['model']}/{r['backend']}") for r in payload["results"]
+    )
+    for r in payload["results"]:
+        perf = r["perf"]
+        print(
+            f"  {r['model'] + '/' + r['backend']:>{width}}: "
+            f"{perf['latency_us']:12,.1f} us/query  "
+            f"{perf['throughput_items_per_s']:12,.0f} items/s  "
+            f"${perf['usd_per_million_queries']:.4f}/1M  "
+            f"{r['fleet']['nodes']:4d} nodes @ "
+            f"{payload['config']['target_qps']:,.0f} qps"
+        )
+    if args.compare:
+        baseline_name = payload["comparison"]["baseline_name"]
+        if regression_lines:
+            print(f"regressions vs {baseline_name!r} ({args.compare}):")
+            for line in regression_lines:
+                print(f"  {line}")
+        else:
+            print(f"no regressions vs {baseline_name!r} ({args.compare})")
+    return gate()
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     import repro
     from repro.experiments.harness import EXPERIMENTS
@@ -263,7 +372,7 @@ def _cmd_info(args: argparse.Namespace) -> int:
 def _add_backend_flag(parser: argparse.ArgumentParser, **kwargs) -> None:
     parser.add_argument(
         "--backend",
-        help="inference backend (fpga | fpga-compressed | cpu)",
+        help="inference backend (fpga | fpga-compressed | cpu | gpu | nmp)",
         **kwargs,
     )
 
@@ -349,6 +458,58 @@ def build_parser() -> argparse.ArgumentParser:
     p_fleet.add_argument("--headroom", type=float, default=0.7)
     p_fleet.add_argument("--json", action="store_true")
     p_fleet.set_defaults(func=_cmd_fleet)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="sweep backends x models x batches into BENCH_<name>.json",
+    )
+    p_bench.add_argument(
+        "--model", action="append", default=None, metavar="NAME",
+        help="model to sweep (repeatable; default: small)",
+    )
+    _add_backend_flag(
+        p_bench, action="append", default=None,
+        metavar="NAME",
+    )
+    p_bench.add_argument(
+        "--batch", action="append", type=int, default=None, metavar="N",
+        help="batch size for the latency curve (repeatable)",
+    )
+    p_bench.add_argument(
+        "--quick", action="store_true",
+        help="CI-sized sweep: small batches, 256-row tables",
+    )
+    p_bench.add_argument(
+        "--max-rows", type=int, default=None,
+        help="row-cap tables before deployment (default: 4096, or 256 "
+        "with --quick)",
+    )
+    p_bench.add_argument("--seed", type=int, default=0)
+    p_bench.add_argument(
+        "--qps", type=float, default=1_000_000.0,
+        help="fleet-sizing target load (queries per second)",
+    )
+    p_bench.add_argument(
+        "--name", default=None,
+        help="artifact name: writes BENCH_<name>.json "
+        "(default: quick | full)",
+    )
+    p_bench.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="artifact path (overrides the BENCH_<name>.json convention)",
+    )
+    p_bench.add_argument(
+        "--compare", default=None, metavar="OLD.json",
+        help="attach regression deltas against a previous artifact",
+    )
+    p_bench.add_argument(
+        "--fail-on-regression", nargs="?", type=float, const=5.0,
+        default=None, metavar="PCT",
+        help="with --compare: exit 1 if any headline metric regresses by "
+        "more than PCT percent (default 5)",
+    )
+    p_bench.add_argument("--json", action="store_true")
+    p_bench.set_defaults(func=_cmd_bench)
 
     p_info = sub.add_parser("info", help="library overview")
     p_info.add_argument("--json", action="store_true")

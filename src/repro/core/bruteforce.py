@@ -16,11 +16,7 @@ from __future__ import annotations
 
 from typing import Iterator, Mapping, Sequence
 
-from repro.core.allocation import (
-    Placement,
-    PlacementError,
-    allocate_to_banks,
-)
+from repro.core.allocation import PlacementError, allocate_to_banks
 from repro.core.cartesian import MergeGroup, product_spec
 from repro.core.planner import Plan, PlannerConfig
 from repro.core.tables import TableSpec

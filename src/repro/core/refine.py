@@ -16,8 +16,6 @@ brute-force oracle on adversarial instances.
 
 from __future__ import annotations
 
-from dataclasses import replace
-
 from repro.core.allocation import Placement
 from repro.core.cartesian import MergeGroup
 from repro.memory.timing import MemoryTimingModel

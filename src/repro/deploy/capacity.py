@@ -24,6 +24,15 @@ if TYPE_CHECKING:  # avoid a runtime import cycle with repro.runtime
 #: baseline server.
 FPGA_USD_PER_HOUR = 1.65
 CPU_USD_PER_HOUR = 1.82
+#: p3.2xlarge-class rate: one V100 inference server (the GPU the
+#: DeepRecSys observations modelled in ``repro.baselines.gpu`` describe).
+GPU_USD_PER_HOUR = 3.06
+#: Hypothetical NMP-DIMM server: the CPU baseline server plus a ~20 %
+#: memory-subsystem premium.  TensorDIMM/RecNMP never shipped — the paper
+#: notes such DRAM "would take years to put in production" — so this rate
+#: prices the proposal's own assumption of commodity servers with
+#: upgraded DIMMs.
+NMP_USD_PER_HOUR = 2.18
 
 
 @dataclass(frozen=True)

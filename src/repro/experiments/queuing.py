@@ -23,7 +23,6 @@ from repro.core.planner import Plan
 from repro.experiments.common import plan
 from repro.experiments.report import ExperimentResult
 from repro.memory.dramsim import DramChannelSim, DramTimingParams
-from repro.memory.spec import BankKind
 
 INFERENCES = 400
 

@@ -23,7 +23,6 @@ def run() -> ExperimentResult:
     for name in ("small", "large"):
         cm = cpu_model(name)
         paper = paper_data.TABLE2[name]
-        ops = cm.model.ops_per_inference
         for batch in paper_data.CPU_BATCHES:
             lat = cm.end_to_end_latency_ms(batch)
             rows.append(

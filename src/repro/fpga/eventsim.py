@@ -32,7 +32,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.fpga.pipeline import PipelineModel, PipelineStage
+from repro.fpga.pipeline import PipelineModel
 
 
 @dataclass(frozen=True)

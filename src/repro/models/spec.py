@@ -20,7 +20,7 @@ deterministic synthetic inventories that reproduce:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 from repro.core.tables import TableSpec

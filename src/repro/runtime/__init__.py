@@ -43,9 +43,17 @@ from repro.runtime.backends import (
     CpuBackend,
     FpgaBackend,
     FpgaCompressedBackend,
+    GpuBackend,
+    NmpBackend,
 )
 from repro.runtime.perf import PerfEstimate
-from repro.runtime.session import CpuSession, FpgaSession, Session
+from repro.runtime.session import (
+    CpuSession,
+    FpgaSession,
+    GpuSession,
+    NmpSession,
+    Session,
+)
 
 __all__ = [
     "deploy_model",
@@ -58,7 +66,11 @@ __all__ = [
     "Session",
     "FpgaSession",
     "CpuSession",
+    "GpuSession",
+    "NmpSession",
     "FpgaBackend",
     "FpgaCompressedBackend",
     "CpuBackend",
+    "GpuBackend",
+    "NmpBackend",
 ]

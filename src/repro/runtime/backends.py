@@ -1,4 +1,5 @@
-"""Built-in inference backends: ``fpga``, ``fpga-compressed``, ``cpu``.
+"""Built-in inference backends: ``fpga``, ``fpga-compressed``, ``cpu``,
+``gpu``, ``nmp``.
 
 Each backend maps the uniform ``build(model, *, memory, precision, seed,
 **knobs)`` surface onto one of the repository's engines:
@@ -10,32 +11,77 @@ Each backend maps the uniform ``build(model, *, memory, precision, seed,
   tables (smaller footprints seen by the planner, on-the-fly dequantise on
   the functional path);
 * ``cpu`` — :class:`~repro.cpu.baseline.CpuBaselineEngine` (the measured
-  NumPy reference) timed by the calibrated TensorFlow-Serving cost model.
+  NumPy reference) timed by the calibrated TensorFlow-Serving cost model;
+* ``gpu`` — the same functional reference timed by the DeepRecSys-style
+  GPU cost model (:mod:`repro.baselines.gpu`), served batched at the very
+  large batches GPUs need;
+* ``nmp`` — the same functional reference timed by the TensorDIMM/RecNMP
+  cost model (:mod:`repro.baselines.nmp`), served pipeline-style by the
+  near-memory gather units.
 
-All three are registered at import time; :func:`repro.deploy_model` is the
+All five are registered at import time; :func:`repro.deploy_model` is the
 one-call entry point above them.
 """
 
 from __future__ import annotations
 
+from repro.baselines.gpu import GpuCostModel, GpuSpec
+from repro.baselines.nmp import NmpCostModel, NmpSpec
 from repro.core.engine import MicroRecEngine
 from repro.core.planner import Plan, PlannerConfig
 from repro.core.tables import make_tables
 from repro.cpu.baseline import CpuBaselineEngine
 from repro.cpu.costmodel import CpuCostModel, CpuCostParams
 from repro.cpu.server import CpuServerSpec
-from repro.deploy.capacity import CPU_USD_PER_HOUR, FPGA_USD_PER_HOUR
+from repro.deploy.capacity import (
+    CPU_USD_PER_HOUR,
+    FPGA_USD_PER_HOUR,
+    GPU_USD_PER_HOUR,
+    NMP_USD_PER_HOUR,
+)
 from repro.fpga.accelerator import FpgaConfig
 from repro.memory.spec import MemorySystemSpec
 from repro.memory.timing import MemoryTimingModel
 from repro.models.mlp import PRECISIONS, Mlp, check_precision
 from repro.models.spec import ModelSpec
 from repro.runtime.backend import register_backend
-from repro.runtime.session import CpuSession, FpgaSession, Session
+from repro.runtime.session import (
+    CpuSession,
+    FpgaSession,
+    GpuSession,
+    NmpSession,
+    Session,
+)
 
 #: The batch size the paper selects for the CPU baseline comparisons
 #: ("larger batch sizes can break inference latency constraints").
 DEFAULT_CPU_SERVING_BATCH = 2048
+
+#: The GPU operating batch: "GPUs can only outperform CPUs when ... very
+#: large batch sizes are used" (Gupta et al. 2020a) — at the CPU's 2048
+#: the GPU is barely ahead, so its serving point doubles it.
+DEFAULT_GPU_SERVING_BATCH = 4096
+
+
+def _reference_engine(
+    model: ModelSpec,
+    seed: int,
+    materialize_below_bytes: int,
+    mlp: Mlp | None,
+) -> CpuBaselineEngine:
+    """The shared functional path of the cost-modelled backends.
+
+    Same deterministic tables and MLP as the FPGA backends under the same
+    ``seed``, so cross-backend predictions agree bit-for-bit at fp32.
+    """
+    tables = make_tables(
+        model.tables,
+        seed=seed,
+        materialize_below_bytes=materialize_below_bytes,
+    )
+    if mlp is None:
+        mlp = Mlp.random(model.layer_dims, seed=seed)
+    return CpuBaselineEngine(model, tables, mlp)
 
 
 class FpgaBackend:
@@ -142,14 +188,7 @@ class CpuBackend:
             )
         del memory, timing, planner_config  # no placement problem on CPU
         precision = check_precision(precision or "fp32")
-        tables = make_tables(
-            model.tables,
-            seed=seed,
-            materialize_below_bytes=materialize_below_bytes,
-        )
-        if mlp is None:
-            mlp = Mlp.random(model.layer_dims, seed=seed)
-        engine = CpuBaselineEngine(model, tables, mlp)
+        engine = _reference_engine(model, seed, materialize_below_bytes, mlp)
         cost = CpuCostModel(
             model,
             server=server or CpuServerSpec(),
@@ -168,6 +207,113 @@ class CpuBackend:
         )
 
 
+class GpuBackend:
+    """The GPU serving stack of the DeepRecSys observations."""
+
+    name = "gpu"
+
+    def build(
+        self,
+        model: ModelSpec,
+        *,
+        memory: MemorySystemSpec | None = None,
+        timing: MemoryTimingModel | None = None,
+        precision: str | None = None,
+        seed: int = 0,
+        planner_config: PlannerConfig | None = None,
+        gpu: GpuSpec | None = None,
+        serving_batch: int = DEFAULT_GPU_SERVING_BATCH,
+        batch_timeout_ms: float = 10.0,
+        materialize_below_bytes: int = 0,
+        mlp: Mlp | None = None,
+        usd_per_hour: float = GPU_USD_PER_HOUR,
+        **knobs: object,
+    ) -> Session:
+        """Assemble the GPU session: real tables + MLP, modelled timing.
+
+        ``gpu`` selects the device (:class:`~repro.baselines.gpu.GpuSpec`,
+        a V100-class part by default).  The shared ``memory``, ``timing``,
+        and ``planner_config`` knobs do not apply (tables live whole in
+        device HBM, no placement problem); they are accepted and ignored so
+        one knob set can sweep every backend.
+        """
+        if knobs:
+            raise TypeError(
+                f"{self.name} backend got unexpected knobs {sorted(knobs)}"
+            )
+        del memory, timing, planner_config  # tables live whole in HBM
+        precision = check_precision(precision or "fp32")
+        engine = _reference_engine(model, seed, materialize_below_bytes, mlp)
+        cost = GpuCostModel(model, gpu=gpu or GpuSpec())
+        return GpuSession(
+            self.name,
+            model,
+            engine,
+            cost,
+            precision,
+            PRECISIONS[precision],
+            serving_batch,
+            batch_timeout_ms,
+            usd_per_hour,
+        )
+
+
+class NmpBackend:
+    """A CPU server with near-memory-processing DIMMs (TensorDIMM/RecNMP)."""
+
+    name = "nmp"
+
+    def build(
+        self,
+        model: ModelSpec,
+        *,
+        memory: MemorySystemSpec | None = None,
+        timing: MemoryTimingModel | None = None,
+        precision: str | None = None,
+        seed: int = 0,
+        planner_config: PlannerConfig | None = None,
+        nmp: NmpSpec | None = None,
+        params: CpuCostParams | None = None,
+        serving_batch: int = DEFAULT_CPU_SERVING_BATCH,
+        materialize_below_bytes: int = 0,
+        mlp: Mlp | None = None,
+        usd_per_hour: float = NMP_USD_PER_HOUR,
+        **knobs: object,
+    ) -> Session:
+        """Assemble the NMP session: real tables + MLP, modelled timing.
+
+        ``nmp`` selects the DIMM configuration
+        (:class:`~repro.baselines.nmp.NmpSpec`); ``params`` the host CPU
+        cost constants the NMP model adjusts.  The serving operating point
+        matches the CPU baseline's batch so the comparison isolates the
+        memory system.
+        """
+        if knobs:
+            raise TypeError(
+                f"{self.name} backend got unexpected knobs {sorted(knobs)}"
+            )
+        del memory, timing, planner_config  # DRAM is the accelerator here
+        precision = check_precision(precision or "fp32")
+        engine = _reference_engine(model, seed, materialize_below_bytes, mlp)
+        cost = NmpCostModel(
+            model,
+            nmp=nmp or NmpSpec(),
+            cpu_params=params or CpuCostParams(),
+        )
+        return NmpSession(
+            self.name,
+            model,
+            engine,
+            cost,
+            precision,
+            PRECISIONS[precision],
+            serving_batch,
+            usd_per_hour,
+        )
+
+
 register_backend(FpgaBackend())
 register_backend(FpgaCompressedBackend())
 register_backend(CpuBackend())
+register_backend(GpuBackend())
+register_backend(NmpBackend())

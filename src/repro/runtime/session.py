@@ -10,9 +10,10 @@ session answers the same four questions:
   stream, routed to the pipelined or batched server model as appropriate;
 * ``fleet(target_qps)`` — how many nodes of this engine a load needs.
 
-Concrete sessions (:class:`FpgaSession`, :class:`CpuSession`) expose their
-underlying engine via ``.engine`` for backend-specific detail (plans,
-resource reports, cost curves).
+Concrete sessions (:class:`FpgaSession`, :class:`CpuSession`,
+:class:`GpuSession`, :class:`NmpSession`) expose their underlying engine
+via ``.engine`` for backend-specific detail (plans, resource reports, cost
+curves).
 """
 
 from __future__ import annotations
@@ -21,6 +22,8 @@ from abc import ABC, abstractmethod
 
 import numpy as np
 
+from repro.baselines.gpu import GpuCostModel
+from repro.baselines.nmp import NmpCostModel
 from repro.core.engine import MicroRecEngine
 from repro.cpu.baseline import CpuBaselineEngine
 from repro.cpu.costmodel import CpuCostModel
@@ -125,7 +128,24 @@ class Session(ABC):
         )
 
 
-class FpgaSession(Session):
+class PipelinedServing:
+    """Mixin for sessions served item-by-item by a hardware pipeline.
+
+    Items are admitted at the perf estimate's sustained spacing (``ii_ns``)
+    and each leaves one single-query latency later; there are no batching
+    knobs to turn, so any are rejected.
+    """
+
+    def server(self, **knobs: object) -> PipelineServerSim:
+        if knobs:
+            raise TypeError(
+                f"pipelined server takes no knobs, got {sorted(knobs)}"
+            )
+        perf = self.perf()
+        return PipelineServerSim(perf.latency_us, perf.ii_ns)
+
+
+class FpgaSession(PipelinedServing, Session):
     """A MicroRec engine deployed behind the session facade.
 
     ``precision`` is the *functional* number format (may be ``"fp32"`` for
@@ -173,26 +193,22 @@ class FpgaSession(Session):
     def batch_latency_ms(self, batch_size: int) -> float:
         return self.performance().batch_latency_ms(batch_size)
 
-    def server(self, **knobs: object) -> PipelineServerSim:
-        perf = self.perf()
-        if knobs:
-            raise TypeError(
-                f"pipelined server takes no knobs, got {sorted(knobs)}"
-            )
-        return PipelineServerSim(perf.latency_us, perf.ii_ns)
-
     def _extra_summary(self) -> dict[str, object]:
         out = self.engine.plan.summary()
         out["bottleneck"] = self.perf().bottleneck
         return out
 
 
-class CpuSession(Session):
-    """The batched CPU baseline deployed behind the session facade.
+class ModeledSession(Session):
+    """Shared base of the cost-modelled baselines (cpu / gpu / nmp).
 
-    Functional inference runs the plain NumPy path (optionally quantised to
-    a fixed-point format for apples-to-apples accuracy studies); timing
-    comes from the calibrated :class:`~repro.cpu.costmodel.CpuCostModel`.
+    All three serve the *same functional path* — the NumPy reference engine
+    over the same deterministic tables and MLP (optionally quantised to a
+    fixed-point format for apples-to-apples accuracy studies), so their
+    fp32 predictions agree bit-for-bit — and differ only in the analytical
+    cost model that times them (``cost`` must expose
+    ``end_to_end_latency_ms(batch)``) and in the serving architecture
+    built on top.
     """
 
     def __init__(
@@ -200,11 +216,10 @@ class CpuSession(Session):
         backend: str,
         model: ModelSpec,
         engine: CpuBaselineEngine,
-        cost: CpuCostModel,
+        cost: CpuCostModel | GpuCostModel | NmpCostModel,
         precision: str,
         fixed_point: FixedPointFormat | None,
         serving_batch: int,
-        batch_timeout_ms: float,
         usd_per_hour: float,
     ):
         super().__init__(backend, model, precision, usd_per_hour)
@@ -212,7 +227,6 @@ class CpuSession(Session):
         self.cost = cost
         self.fixed_point = fixed_point
         self.serving_batch = serving_batch
-        self.batch_timeout_ms = batch_timeout_ms
         self._mlp_device: Mlp = (
             engine.mlp.quantized(fixed_point) if fixed_point else engine.mlp
         )
@@ -224,17 +238,30 @@ class CpuSession(Session):
     def reference(self) -> CpuBaselineEngine:
         return self.engine
 
-    def _estimate_perf(self) -> PerfEstimate:
-        return PerfEstimate.from_cpu_model(
-            self.cost,
-            serving_batch=self.serving_batch,
-            usd_per_hour=self.usd_per_hour,
-            backend=self.backend,
-            precision=self.precision,
-        )
-
     def batch_latency_ms(self, batch_size: int) -> float:
         return self.cost.end_to_end_latency_ms(batch_size)
+
+
+class BatchedModeledSession(ModeledSession):
+    """Cost-modelled sessions served by the batch-assembly server (cpu/gpu)."""
+
+    def __init__(
+        self,
+        backend: str,
+        model: ModelSpec,
+        engine: CpuBaselineEngine,
+        cost: CpuCostModel | GpuCostModel,
+        precision: str,
+        fixed_point: FixedPointFormat | None,
+        serving_batch: int,
+        batch_timeout_ms: float,
+        usd_per_hour: float,
+    ):
+        super().__init__(
+            backend, model, engine, cost, precision, fixed_point,
+            serving_batch, usd_per_hour,
+        )
+        self.batch_timeout_ms = batch_timeout_ms
 
     def server(
         self,
@@ -251,10 +278,90 @@ class CpuSession(Session):
             ),
         )
 
+
+class CpuSession(BatchedModeledSession):
+    """The batched CPU baseline deployed behind the session facade.
+
+    Functional inference runs the plain NumPy path; timing comes from the
+    calibrated :class:`~repro.cpu.costmodel.CpuCostModel`.
+    """
+
+    def _estimate_perf(self) -> PerfEstimate:
+        return PerfEstimate.from_cpu_model(
+            self.cost,
+            serving_batch=self.serving_batch,
+            usd_per_hour=self.usd_per_hour,
+            backend=self.backend,
+            precision=self.precision,
+        )
+
     def _extra_summary(self) -> dict[str, object]:
         return {
             "serving_batch": self.serving_batch,
             "serving_latency_ms": self.perf().serving_latency_ms,
+            "embedding_fraction": self.cost.embedding_fraction(
+                self.serving_batch
+            ),
+            "bottleneck": self.perf().bottleneck,
+        }
+
+
+class GpuSession(BatchedModeledSession):
+    """The GPU baseline (DeepRecSys-style observations) behind the facade.
+
+    The functional path is the same NumPy reference a GPU would compute;
+    timing comes from :class:`~repro.baselines.gpu.GpuCostModel` — launch
+    and per-operator kernel overheads, PCIe transfer, HBM gathers, and a
+    GEMM rate that only saturates at very large batches.  Serving is
+    batched like the CPU path, at the much larger operating batch GPUs
+    need to be cost-effective.
+    """
+
+    def _estimate_perf(self) -> PerfEstimate:
+        return PerfEstimate.from_gpu_model(
+            self.cost,
+            serving_batch=self.serving_batch,
+            usd_per_hour=self.usd_per_hour,
+            backend=self.backend,
+            precision=self.precision,
+        )
+
+    def _extra_summary(self) -> dict[str, object]:
+        return {
+            "serving_batch": self.serving_batch,
+            "serving_latency_ms": self.perf().serving_latency_ms,
+            "pcie_transfer_ms": self.cost.transfer_ms(self.serving_batch),
+            "bottleneck": self.perf().bottleneck,
+        }
+
+
+class NmpSession(PipelinedServing, ModeledSession):
+    """The near-memory-processing baseline behind the session facade.
+
+    Timing comes from :class:`~repro.baselines.nmp.NmpCostModel` (CPU cost
+    structure with the per-lookup memory cost divided by the DIMM-level
+    acceleration factor).  Serving is modelled pipeline-style: the
+    near-memory gather/reduce units stream per-item lookups with rank-level
+    parallelism, so items are admitted at the amortised per-item spacing of
+    the serving operating point and each leaves one single-query latency
+    later — the proposals' best case, which still trails MicroRec end to
+    end because framework overhead and the batched MLP are untouched.
+    """
+
+    def _estimate_perf(self) -> PerfEstimate:
+        return PerfEstimate.from_nmp_model(
+            self.cost,
+            serving_batch=self.serving_batch,
+            usd_per_hour=self.usd_per_hour,
+            backend=self.backend,
+            precision=self.precision,
+        )
+
+    def _extra_summary(self) -> dict[str, object]:
+        return {
+            "serving_batch": self.serving_batch,
+            "serving_latency_ms": self.perf().serving_latency_ms,
+            "lookup_speedup": self.cost.nmp.lookup_speedup,
             "embedding_fraction": self.cost.embedding_fraction(
                 self.serving_batch
             ),

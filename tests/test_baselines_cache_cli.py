@@ -1,9 +1,8 @@
 """Unit tests for the related-work baselines, the row cache, and the CLI."""
 
-import numpy as np
 import pytest
 
-from repro.baselines.gpu import GpuCostModel, GpuSpec
+from repro.baselines.gpu import GpuCostModel
 from repro.baselines.nmp import NmpCostModel, NmpSpec
 from repro.cli import main
 from repro.cpu.costmodel import CpuCostModel

@@ -1,0 +1,308 @@
+"""Tests for the ``repro.bench`` subsystem and the ``repro bench`` CLI."""
+
+import copy
+import json
+
+import pytest
+
+from repro.bench import (
+    SCHEMA_VERSION,
+    BenchConfig,
+    BenchSchemaError,
+    compare_payloads,
+    default_output_path,
+    regressions,
+    run_bench,
+    validate_file,
+    validate_payload,
+    write_payload,
+)
+from repro.cli import main
+
+BACKENDS = ("fpga", "cpu", "gpu", "nmp")
+
+
+@pytest.fixture(scope="module")
+def config():
+    return BenchConfig.quick_config(
+        backends=BACKENDS, batches=(1, 64), max_rows=128, name="testquick"
+    )
+
+
+@pytest.fixture(scope="module")
+def payload(config):
+    return run_bench(config)
+
+
+class TestConfig:
+    def test_quick_defaults(self):
+        config = BenchConfig.quick_config()
+        assert config.quick
+        assert config.name == "quick"
+        assert config.max_rows == 256
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BenchConfig(models=())
+        with pytest.raises(ValueError):
+            BenchConfig(batches=(0,))
+        with pytest.raises(ValueError):
+            BenchConfig(batches=(8, 8))
+        with pytest.raises(ValueError):
+            BenchConfig(max_rows=-1)
+        with pytest.raises(ValueError):
+            BenchConfig(target_qps=0.0)
+        with pytest.raises(ValueError):
+            BenchConfig(name="../escape")
+
+    def test_unknown_names_rejected(self):
+        with pytest.raises(ValueError, match="unknown model"):
+            run_bench(BenchConfig(models=("medium",)))
+        with pytest.raises(ValueError, match="unknown backend"):
+            run_bench(BenchConfig.quick_config(backends=("tpu",)))
+
+    def test_default_output_path(self):
+        assert default_output_path("quick") == "BENCH_quick.json"
+
+
+class TestRunBench:
+    def test_payload_validates(self, payload):
+        assert validate_payload(payload) is payload
+        assert payload["schema_version"] == SCHEMA_VERSION
+
+    def test_covers_the_grid(self, payload, config):
+        pairs = {(r["model"], r["backend"]) for r in payload["results"]}
+        assert pairs == {("small", b) for b in BACKENDS}
+        for result in payload["results"]:
+            assert set(result["batch_latency_ms"]) == {"1", "64"}
+            assert result["wall_clock_s"] >= 0
+        assert payload["config"]["batches"] == list(config.batches)
+
+    def test_batched_latency_grows_with_batch(self, payload):
+        for result in payload["results"]:
+            if result["backend"] == "fpga":
+                continue
+            curve = result["batch_latency_ms"]
+            assert curve["64"] > curve["1"]
+
+    def test_planner_stats_only_for_planning_backends(self, payload):
+        by_backend = {r["backend"]: r for r in payload["results"]}
+        assert by_backend["fpga"]["planner"] is not None
+        assert "merged_groups" in by_backend["fpga"]["planner"]
+        for name in ("cpu", "gpu", "nmp"):
+            assert by_backend[name]["planner"] is None
+
+    def test_perf_matches_session_estimates(self, payload):
+        by_backend = {r["backend"]: r for r in payload["results"]}
+        fpga, cpu = by_backend["fpga"]["perf"], by_backend["cpu"]["perf"]
+        assert fpga["usd_per_million_queries"] < cpu["usd_per_million_queries"]
+        assert fpga["latency_us"] < cpu["latency_us"]
+
+
+class TestValidator:
+    def test_rejects_wrong_version(self, payload):
+        for bad_version in (SCHEMA_VERSION + 1, True, str(SCHEMA_VERSION)):
+            bad = copy.deepcopy(payload)
+            bad["schema_version"] = bad_version
+            with pytest.raises(BenchSchemaError, match="schema_version"):
+                validate_payload(bad)
+
+    def test_rejects_wrong_suite(self, payload):
+        bad = copy.deepcopy(payload)
+        bad["suite"] = "someone-elses-json"
+        with pytest.raises(BenchSchemaError, match="suite"):
+            validate_payload(bad)
+
+    def test_rejects_missing_key(self, payload):
+        bad = copy.deepcopy(payload)
+        del bad["results"][0]["perf"]["latency_us"]
+        with pytest.raises(BenchSchemaError, match="latency_us"):
+            validate_payload(bad)
+
+    def test_rejects_nonpositive_metric(self, payload):
+        bad = copy.deepcopy(payload)
+        bad["results"][0]["perf"]["throughput_items_per_s"] = 0
+        with pytest.raises(BenchSchemaError, match="throughput_items_per_s"):
+            validate_payload(bad)
+
+    def test_rejects_non_finite_metric(self, payload):
+        for poison in (float("nan"), float("inf")):
+            bad = copy.deepcopy(payload)
+            bad["results"][0]["perf"]["latency_us"] = poison
+            with pytest.raises(BenchSchemaError, match="finite"):
+                validate_payload(bad)
+
+    def test_rejects_bad_batch_key(self, payload):
+        bad = copy.deepcopy(payload)
+        bad["results"][0]["batch_latency_ms"]["not-a-batch"] = 1.0
+        with pytest.raises(BenchSchemaError, match="batch keys"):
+            validate_payload(bad)
+
+    def test_rejects_duplicate_pairs(self, payload):
+        bad = copy.deepcopy(payload)
+        bad["results"].append(copy.deepcopy(bad["results"][0]))
+        with pytest.raises(BenchSchemaError, match="duplicate"):
+            validate_payload(bad)
+
+    def test_rejects_non_object(self):
+        with pytest.raises(BenchSchemaError):
+            validate_payload([1, 2, 3])
+
+    def test_write_refuses_invalid(self, payload, tmp_path):
+        bad = copy.deepcopy(payload)
+        bad["results"] = []
+        with pytest.raises(BenchSchemaError):
+            write_payload(bad, str(tmp_path / "bad.json"))
+
+    def test_validate_file_round_trip(self, payload, tmp_path):
+        path = tmp_path / "BENCH_rt.json"
+        write_payload(payload, str(path))
+        assert validate_file(str(path))["name"] == payload["name"]
+        garbage = tmp_path / "garbage.json"
+        garbage.write_text("{not json")
+        with pytest.raises(BenchSchemaError, match="not valid JSON"):
+            validate_file(str(garbage))
+
+
+class TestCompare:
+    def test_identical_payloads_have_zero_deltas(self, payload):
+        comparison = compare_payloads(payload, payload)
+        assert comparison["baseline_name"] == payload["name"]
+        assert not comparison["removed"] and not comparison["added"]
+        for entry in comparison["entries"]:
+            for metric in entry["metrics"].values():
+                assert metric["delta_pct"] == 0.0
+        assert regressions(comparison) == []
+
+    def test_detects_regression_and_membership_changes(self, payload):
+        slower = copy.deepcopy(payload)
+        slower["results"] = [
+            r for r in slower["results"] if r["backend"] != "nmp"
+        ]
+        slower["results"][0]["perf"]["latency_us"] *= 2.0
+        comparison = compare_payloads(payload, slower)
+        assert comparison["removed"] == ["small/nmp"]
+        lines = regressions(comparison)
+        assert any("latency_us rose 100.0%" in line for line in lines)
+
+
+class TestCliBench:
+    ARGS = [
+        "bench", "--quick", "--backend", "fpga", "--backend", "cpu",
+        "--batch", "1", "--batch", "64", "--max-rows", "128",
+    ]
+
+    def test_json_stdout_is_pure(self, capsys, tmp_path):
+        out_path = tmp_path / "BENCH_ci.json"
+        assert main(self.ARGS + ["--json", "--output", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert out.lstrip().startswith("{")
+        parsed = json.loads(out)
+        assert validate_payload(parsed)["config"]["quick"] is True
+        # The artifact file is also written and identical in content.
+        assert validate_file(str(out_path))["name"] == parsed["name"]
+
+    def test_compare_flag(self, capsys, tmp_path):
+        baseline = tmp_path / "BENCH_base.json"
+        assert main(self.ARGS + ["--json", "--output", str(baseline)]) == 0
+        capsys.readouterr()
+        fresh = tmp_path / "BENCH_fresh.json"
+        assert main(
+            self.ARGS
+            + ["--json", "--output", str(fresh), "--compare", str(baseline)]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["comparison"]["baseline_name"] == "quick"
+        assert payload["comparison"]["entries"]
+
+    def test_human_output(self, capsys, tmp_path):
+        out_path = tmp_path / "BENCH_h.json"
+        assert main(self.ARGS + ["--output", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "small/fpga" in out
+        assert "us/query" in out
+
+    def test_fail_on_regression_gate(self, capsys, tmp_path):
+        baseline = tmp_path / "BENCH_gate.json"
+        assert main(self.ARGS + ["--json", "--output", str(baseline)]) == 0
+        capsys.readouterr()
+        # Same sweep vs itself: deltas are zero, the gate stays open.
+        assert main(
+            self.ARGS
+            + ["--output", str(tmp_path / "BENCH_same.json"),
+               "--compare", str(baseline), "--fail-on-regression"]
+        ) == 0
+        capsys.readouterr()
+        # Inflate the baseline's throughput: the fresh run now "regressed".
+        doctored = json.loads(baseline.read_text())
+        for result in doctored["results"]:
+            result["perf"]["throughput_items_per_s"] *= 10.0
+        fast_baseline = tmp_path / "BENCH_fast.json"
+        write_payload(doctored, str(fast_baseline))
+        assert main(
+            self.ARGS
+            + ["--output", str(tmp_path / "BENCH_slow.json"),
+               "--compare", str(fast_baseline), "--fail-on-regression", "5"]
+        ) == 1
+        captured = capsys.readouterr()
+        assert "regression" in captured.err
+
+    def test_fail_on_regression_requires_compare(self, capsys, tmp_path):
+        assert main(
+            ["bench", "--quick", "--backend", "cpu", "--batch", "1",
+             "--max-rows", "128", "--fail-on-regression",
+             "--output", str(tmp_path / "x.json")]
+        ) == 2
+        assert "--compare" in capsys.readouterr().err
+
+    def test_duplicate_backend_rejected_up_front(self, tmp_path):
+        assert main(
+            ["bench", "--quick", "--backend", "cpu", "--backend", "cpu",
+             "--output", str(tmp_path / "x.json")]
+        ) == 2
+
+    def test_unknown_backend_exits_2(self, tmp_path):
+        assert main(
+            ["bench", "--quick", "--backend", "tpu",
+             "--output", str(tmp_path / "x.json")]
+        ) == 2
+
+    def test_bad_name_exits_2(self, tmp_path):
+        assert main(["bench", "--quick", "--name", "../escape"]) == 2
+
+
+class TestSchemaCliModule:
+    def test_main_ok_and_fail(self, payload, tmp_path, capsys):
+        from repro.bench import schema
+
+        good = tmp_path / "BENCH_ok.json"
+        write_payload(payload, str(good))
+        assert schema.main([str(good)]) == 0
+        assert "ok" in capsys.readouterr().out
+        bad = tmp_path / "BENCH_bad.json"
+        bad.write_text(json.dumps({"suite": "repro-bench"}))
+        assert schema.main([str(bad)]) == 1
+        assert schema.main([]) == 2
+
+
+class TestJsonPurity:
+    """CI pipes --json output straight into ``python -m json.tool``."""
+
+    def test_info_json_emits_only_json(self, capsys):
+        assert main(["info", "--json"]) == 0
+        out = capsys.readouterr().out.strip()
+        assert out.startswith("{") and out.endswith("}")
+        payload = json.loads(out)
+        assert "gpu" in payload["backends"]
+        assert "nmp" in payload["backends"]
+
+    def test_bench_progress_goes_to_stderr(self, capsys, tmp_path):
+        out_path = tmp_path / "BENCH_p.json"
+        assert main(
+            ["bench", "--quick", "--backend", "cpu", "--batch", "1",
+             "--max-rows", "128", "--json", "--output", str(out_path)]
+        ) == 0
+        captured = capsys.readouterr()
+        json.loads(captured.out)
+        assert "bench small/cpu" in captured.err
+        assert "wrote" in captured.err

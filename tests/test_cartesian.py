@@ -100,7 +100,6 @@ class TestCartesianTable:
         assert pair.merged_index(np.array([3, 5])) == 3 * rows_b + 5
 
     def test_index_round_trip(self, pair, rng):
-        k = len(pair.members)
         idx = np.stack(
             [rng.integers(0, m.spec.rows, size=50) for m in pair.members], axis=1
         )

@@ -3,17 +3,7 @@ reproduces the paper's qualitative claims."""
 
 import pytest
 
-from repro.experiments import paper_data
-from repro.experiments import (
-    cost,
-    figure3,
-    figure7,
-    table2,
-    table3,
-    table4,
-    table5,
-    table6,
-)
+from repro.experiments import table2, table4
 from repro.experiments.harness import EXPERIMENTS, render_all, run_all
 from repro.experiments.report import ExperimentResult, render_table
 

@@ -1,7 +1,5 @@
 """Unit tests for the AXI interface model."""
 
-import math
-
 import pytest
 
 from repro.memory.axi import AxiConfig

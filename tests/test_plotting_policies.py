@@ -35,7 +35,7 @@ class TestAsciiChart:
 
     def test_extremes_on_borders(self, two_series):
         chart = ascii_chart(two_series)
-        lines = [l for l in chart.splitlines() if "|" in l]
+        lines = [ln for ln in chart.splitlines() if "|" in ln]
         # Max y (3.0) appears in the top row, min (0.0) at the bottom.
         assert "o" in lines[0]
         assert "o" in lines[-1]
@@ -112,7 +112,9 @@ class TestSlaAwareBatcher:
     def test_beats_fixed_batcher_on_tail(self):
         """Same load: the SLA-aware policy keeps p99 below a big fixed
         batcher that waits for its batch to fill."""
-        exec_ms = lambda b: 1.0 + 0.01 * b
+        def exec_ms(b):
+            return 1.0 + 0.01 * b
+
         rng = np.random.default_rng(1)
         arrivals = poisson_arrivals(rng, 20_000, 0.2)
         fixed = BatchedServerSim(exec_ms, batch_size=512, batch_timeout_ms=20.0)
