@@ -1,0 +1,90 @@
+"""Trace-driven serving lab: latency under load across all five backends.
+
+The paper's serving argument, reproduced end to end: query streams with
+realistic arrival patterns (steady Poisson, a diurnal swing, MMPP-style
+bursts, a flash crowd) are replayed through every registered backend's
+queueing model, producing latency-vs-load curves and SLA-aware fleet
+plans.  Batched engines (cpu, gpu) lose tail latency to batch-assembly
+waits as the traffic roughens and must buy extra nodes to hold the SLO;
+the pipelined engines (fpga, nmp) stay near their single-item latency
+until saturation.
+
+Run:  python examples/serving_lab.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.deploy import plan_fleet_sla
+from repro.serving import (
+    bursty_trace,
+    diurnal_trace,
+    flash_crowd_trace,
+    load_sweep,
+)
+
+SLO_MS = 30.0
+TARGET_QPS = 1_000_000.0
+
+
+def main() -> None:
+    sessions = {
+        name: repro.deploy_model("small", backend=name, max_rows=2048)
+        for name in repro.available_backends()
+    }
+
+    print(f"latency under load (p99 SLO = {SLO_MS:.0f} ms, small model)\n")
+    for name, session in sessions.items():
+        print(f"{name}:")
+        for process in ("poisson", "diurnal", "bursty"):
+            curve = load_sweep(
+                session, process=process, duration_s=0.1, slo_ms=SLO_MS
+            )
+            knee = curve.knee_rate_per_s
+            print(
+                f"  {process:8s} SLA capacity {curve.sla_capacity_per_s:>10,.0f}/s"
+                f"   knee {f'{knee:,.0f}/s' if knee else '-':>12}"
+            )
+            for p in curve.points:
+                print(
+                    f"    u={p.utilisation:4.2f}  p50 {p.p50_ms:8.3f}  "
+                    f"p99 {p.p99_ms:8.3f} ms  SLA {p.sla_attainment:6.1%}"
+                )
+        print()
+
+    # -- composable traces: one synthetic day with a flash crowd ----------
+    fpga = sessions["fpga"]
+    day = (
+        diurnal_trace(200_000, 0.2, amplitude=0.5)
+        .then(flash_crowd_trace(200_000, 0.1, spike_rate_per_s=350_000))
+        .then(bursty_trace(np.random.default_rng(7), 150_000, 0.1))
+    )
+    result = fpga.serve_trace(day, seed=11)
+    print(
+        f"composed trace on fpga ({day.duration_s:.1f}s, "
+        f"mean {day.mean_rate:,.0f}/s, peak {day.peak_rate:,.0f}/s): "
+        f"{result.count:,} queries, p99 {result.p99_ms:.3f} ms, "
+        f"SLA {result.sla_attainment(SLO_MS):.1%}"
+    )
+
+    # -- SLA-aware fleet sizing vs throughput-only sizing -----------------
+    print(f"\nfleet sizing @ {TARGET_QPS:,.0f} qps "
+          f"(p99 <= {SLO_MS:.0f} ms, Poisson):")
+    for name, session in sessions.items():
+        fleet = session.fleet(TARGET_QPS)
+        sla = plan_fleet_sla(
+            TARGET_QPS, session, slo_ms=SLO_MS, duration_s=0.1
+        )
+        bound = "  <- SLO-bound" if sla.slo_bound else ""
+        print(
+            f"  {name:>16}: {fleet.nodes:4d} nodes (throughput) -> "
+            f"{sla.nodes:4d} nodes (SLA)  "
+            f"${sla.usd_per_hour:8.2f}/h  "
+            f"p99 {sla.observed_tail_ms:7.3f} ms{bound}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -9,7 +9,12 @@ CI ``bench-smoke`` job runs the quick sweep on every push and validates
 the artifact with ``python -m repro.bench.schema``.
 """
 
-from repro.bench.compare import METRICS, compare_payloads, regressions
+from repro.bench.compare import (
+    METRICS,
+    SERVING_METRICS,
+    compare_payloads,
+    regressions,
+)
 from repro.bench.runner import (
     DEFAULT_TARGET_QPS,
     BenchConfig,
@@ -31,6 +36,7 @@ __all__ = [
     "BenchSchemaError",
     "DEFAULT_TARGET_QPS",
     "METRICS",
+    "SERVING_METRICS",
     "SCHEMA_VERSION",
     "SUITE",
     "compare_payloads",

@@ -23,6 +23,51 @@ METRICS = {
     "usd_per_million_queries": "higher-is-worse",
 }
 
+#: Serving-lab metrics (schema v2) compared when both artifacts carry a
+#: ``serving`` block: SLA capacity per arrival process (the highest rate
+#: whose judged tail met the SLO) and the SLA-sized fleet's node count.
+SERVING_METRICS = {
+    "sla_capacity_per_s": "lower-is-worse",
+    "sla_nodes": "higher-is-worse",
+}
+
+#: Every compared metric's regression direction (perf + serving).
+ALL_METRIC_DIRECTIONS = {**METRICS, **SERVING_METRICS}
+
+
+def _serving_metrics(result: dict) -> dict[str, float]:
+    """Flatten a result's serving block into comparable scalars.
+
+    ``sla_capacity_per_s:<process>`` per swept arrival process, plus
+    ``sla_nodes`` when the SLA fleet plan exists.  The no-serving guard
+    is defensive only: :func:`compare_payloads` validates both payloads
+    against the current schema first, so v1 artifacts are rejected
+    outright (regenerate them) rather than silently compared on perf
+    metrics alone.
+    """
+    serving = result.get("serving")
+    if not isinstance(serving, dict):
+        return {}
+    out: dict[str, float] = {}
+    for process, curve in sorted(serving.get("processes", {}).items()):
+        out[f"sla_capacity_per_s:{process}"] = curve["sla_capacity_per_s"]
+    fleet_sla = serving.get("fleet_sla")
+    if isinstance(fleet_sla, dict):
+        out["sla_nodes"] = fleet_sla["nodes"]
+    return out
+
+
+def _direction(metric: str) -> str:
+    base = metric.split(":", 1)[0]
+    return ALL_METRIC_DIRECTIONS[base]
+
+
+def _delta(before: float, after: float) -> float | None:
+    """Signed percentage change; None when the baseline is zero."""
+    if before == 0:
+        return 0.0 if after == 0 else None
+    return (after - before) / before * 100.0
+
 
 def _by_pair(payload: dict) -> dict[tuple[str, str], dict]:
     return {
@@ -53,7 +98,24 @@ def compare_payloads(old: dict, new: dict) -> dict[str, object]:
             deltas[metric] = {
                 "old": before,
                 "new": after,
-                "delta_pct": (after - before) / before * 100.0,
+                "delta_pct": _delta(before, after),
+            }
+        old_serving = _serving_metrics(old_pairs[key])
+        new_serving = _serving_metrics(new_pairs[key])
+        for metric in sorted(old_serving.keys() | new_serving.keys()):
+            before = old_serving.get(metric)
+            after = new_serving.get(metric)
+            # A metric present on only one side is itself a signal: the
+            # SLA fleet plan going null (SLO newly unattainable) must
+            # surface as a delta, not vanish from the comparison.
+            deltas[metric] = {
+                "old": before,
+                "new": after,
+                "delta_pct": (
+                    _delta(before, after)
+                    if before is not None and after is not None
+                    else None
+                ),
             }
         entries.append(
             {"model": key[0], "backend": key[1], "metrics": deltas}
@@ -76,15 +138,33 @@ def regressions(
     """Human-readable regression lines worse than ``threshold_pct``."""
     lines = []
     for entry in comparison["entries"]:
-        for metric, direction in METRICS.items():
-            delta = entry["metrics"][metric]["delta_pct"]
-            worse = delta > threshold_pct if direction == "higher-is-worse" \
-                else delta < -threshold_pct
+        for metric, record in entry["metrics"].items():
+            direction = _direction(metric)
+            before, after = record["old"], record["new"]
+            delta = record["delta_pct"]
+            if after is None:
+                # The metric vanished — for sla_nodes that means the SLO
+                # became unattainable at any fleet size: always worse.
+                worse, moved = True, "disappeared (SLO no longer attainable?)"
+            elif before is None:
+                # Appeared: the SLO became attainable — an improvement.
+                worse, moved = False, "appeared"
+            elif delta is None:
+                # Baseline was zero, so no percentage exists; a metric
+                # growing off a zero baseline is a regression only when
+                # growth is the bad direction.
+                worse = direction == "higher-is-worse" and after > 0
+                moved = "appeared"
+            else:
+                worse = delta > threshold_pct if direction == "higher-is-worse" \
+                    else delta < -threshold_pct
+                moved = f"{'rose' if delta > 0 else 'fell'} {abs(delta):.1f}%"
             if worse:
+                old_text = "-" if before is None else f"{before:.6g}"
+                new_text = "-" if after is None else f"{after:.6g}"
                 lines.append(
                     f"{entry['model']}/{entry['backend']}: {metric} "
-                    f"{'rose' if delta > 0 else 'fell'} {abs(delta):.1f}% "
-                    f"({entry['metrics'][metric]['old']:.6g} -> "
-                    f"{entry['metrics'][metric]['new']:.6g})"
+                    f"{moved} "
+                    f"({old_text} -> {new_text})"
                 )
     return lines

@@ -4,9 +4,11 @@ This is the machine-readable successor to the ad-hoc ``benchmarks/bench_*``
 scripts: one :func:`run_bench` call deploys every requested (model,
 backend) pair through :func:`repro.deploy_model`, collects the normalised
 :class:`~repro.runtime.perf.PerfEstimate`, the batch-latency curve, the
-fleet plan for a target load, the planner statistics (planning backends
-only), and wall-clock timings, and returns one schema-versioned payload
-(see :mod:`repro.bench.schema`).
+fleet plan for a target load, the latency-under-load serving block
+(schema v2: one curve per arrival process from the serving lab plus the
+SLA-aware fleet plan), the planner statistics (planning backends only),
+and wall-clock timings, and returns one schema-versioned payload (see
+:mod:`repro.bench.schema`).
 """
 
 from __future__ import annotations
@@ -17,8 +19,11 @@ import time
 from dataclasses import asdict, dataclass
 from typing import Callable
 
+from repro.deploy.capacity import plan_fleet_sla
 from repro.models.spec import MODEL_FACTORIES
 from repro.runtime import available_backends, deploy_model
+from repro.serving.arrivals import ARRIVAL_PROCESSES
+from repro.serving.lab import session_lab
 
 from repro.bench.schema import SCHEMA_VERSION, SUITE, validate_payload
 
@@ -44,6 +49,15 @@ class BenchConfig:
     seed: int = 0
     quick: bool = False
     target_qps: float = DEFAULT_TARGET_QPS
+    #: Latency SLO the serving block is judged against ("tens of
+    #: milliseconds", section 1).
+    slo_ms: float = 30.0
+    #: Simulated window per latency-under-load measurement.
+    serve_duration_s: float = 0.1
+    #: Arrival processes swept per (model, backend) pair.
+    serve_processes: tuple[str, ...] = ("poisson", "diurnal", "bursty")
+    #: Offered-load grid as fractions of per-node sustained throughput.
+    serve_utilisations: tuple[float, ...] = (0.25, 0.5, 0.8, 1.05)
     #: Artifact name: the sweep writes ``BENCH_<name>.json``.
     name: str = "full"
 
@@ -66,6 +80,34 @@ class BenchConfig:
             raise ValueError(
                 f"target_qps must be positive, got {self.target_qps}"
             )
+        if self.slo_ms <= 0:
+            raise ValueError(f"slo_ms must be positive, got {self.slo_ms}")
+        if self.serve_duration_s <= 0:
+            raise ValueError(
+                f"serve_duration_s must be positive, got "
+                f"{self.serve_duration_s}"
+            )
+        if not self.serve_processes:
+            raise ValueError("serve_processes must not be empty")
+        if len(set(self.serve_processes)) != len(self.serve_processes):
+            raise ValueError(
+                f"duplicate serve_processes in {self.serve_processes}"
+            )
+        unknown = [
+            p for p in self.serve_processes if p not in ARRIVAL_PROCESSES
+        ]
+        if unknown:
+            raise ValueError(
+                f"unknown serve_processes {unknown}; "
+                f"available: {tuple(ARRIVAL_PROCESSES)}"
+            )
+        if not self.serve_utilisations:
+            raise ValueError("serve_utilisations must not be empty")
+        if any(u <= 0 for u in self.serve_utilisations):
+            raise ValueError(
+                f"serve_utilisations must be positive, got "
+                f"{self.serve_utilisations}"
+            )
         if not _NAME_RE.match(self.name):
             raise ValueError(
                 f"name must match {_NAME_RE.pattern}, got {self.name!r}"
@@ -83,6 +125,7 @@ class BenchConfig:
             "batches": (1, 64, 512),
             "max_rows": 256,
             "quick": True,
+            "serve_duration_s": 0.05,
             "name": "quick",
         }
         base.update(overrides)
@@ -127,6 +170,26 @@ def _bench_one(
         for batch in config.batches
     }
     fleet = session.fleet(config.target_qps)
+    serving = session_lab(
+        session,
+        processes=config.serve_processes,
+        utilisations=config.serve_utilisations,
+        duration_s=config.serve_duration_s,
+        slo_ms=config.slo_ms,
+        seed=config.seed,
+    )
+    try:
+        serving["fleet_sla"] = plan_fleet_sla(
+            config.target_qps,
+            session,
+            slo_ms=config.slo_ms,
+            duration_s=config.serve_duration_s,
+            seed=config.seed,
+        ).as_dict()
+    except ValueError:
+        # The SLO sits below this engine's latency floor: no fleet size
+        # can meet it.  Record the absence; the schema allows null here.
+        serving["fleet_sla"] = None
     plan = getattr(session, "plan", None)
     return {
         "model": model_name,
@@ -135,6 +198,7 @@ def _bench_one(
         "perf": perf.as_dict(),
         "batch_latency_ms": latencies,
         "fleet": fleet.as_dict(),
+        "serving": serving,
         "planner": plan.summary() if plan is not None else None,
         "wall_clock_s": time.perf_counter() - started,
     }
@@ -180,6 +244,10 @@ def run_bench(
             "seed": config.seed,
             "quick": config.quick,
             "target_qps": config.target_qps,
+            "slo_ms": config.slo_ms,
+            "serve_duration_s": config.serve_duration_s,
+            "serve_processes": list(config.serve_processes),
+            "serve_utilisations": list(config.serve_utilisations),
         },
         "results": results,
         "wall_clock_s": time.perf_counter() - started,

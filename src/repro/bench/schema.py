@@ -20,7 +20,10 @@ from typing import Sequence
 
 #: Version of the payload shape documented here.  Bump on any change that
 #: could break a consumer: removed/renamed keys, changed types or units.
-SCHEMA_VERSION = 1
+#: v2 added the per-result ``serving`` block (latency-under-load curves
+#: per arrival process + the SLA-aware fleet plan) and the serving knobs
+#: in ``config``.
+SCHEMA_VERSION = 2
 
 #: The ``suite`` discriminator: distinguishes our artifacts from any other
 #: JSON a pipeline might hand the validator.
@@ -50,6 +53,21 @@ FLEET_POSITIVE_FIELDS = (
     "usd_per_million_queries",
     "latency_ms",
     "utilisation",
+)
+
+#: Numeric fields every latency-under-load curve point must carry, all
+#: strictly positive (mirrors :class:`repro.serving.lab.LoadPoint`).
+POINT_POSITIVE_FIELDS = (
+    "rate_per_s",
+    "utilisation",
+    "queries",
+    "mean_ms",
+    "p50_ms",
+    "p95_ms",
+    "p99_ms",
+    "p999_ms",
+    "tail_ms",
+    "achieved_qps",
 )
 
 
@@ -135,6 +153,21 @@ def _check_config(config: object, path: str) -> None:
     if not isinstance(quick, bool):
         _fail(f"{path}.quick", f"expected a boolean, got {quick!r}")
     _check_number(config, path, "target_qps", minimum=0, exclusive=True)
+    _check_number(config, path, "slo_ms", minimum=0, exclusive=True)
+    _check_number(config, path, "serve_duration_s", minimum=0, exclusive=True)
+    _check_str_list(config, path, "serve_processes")
+    utilisations = _get(config, path, "serve_utilisations")
+    if not isinstance(utilisations, list) or not utilisations:
+        _fail(
+            f"{path}.serve_utilisations",
+            f"expected a non-empty list, got {utilisations!r}",
+        )
+    for i, u in enumerate(utilisations):
+        if isinstance(u, bool) or not isinstance(u, (int, float)) or u <= 0:
+            _fail(
+                f"{path}.serve_utilisations[{i}]",
+                f"expected a positive number, got {u!r}",
+            )
 
 
 def _check_perf(perf: object, path: str) -> None:
@@ -153,6 +186,88 @@ def _check_fleet(fleet: object, path: str) -> None:
     _check_str(fleet, path, "engine")
     for key in FLEET_POSITIVE_FIELDS:
         _check_number(fleet, path, key, minimum=0, exclusive=True)
+
+
+def _check_bool(obj: dict, path: str, key: str) -> bool:
+    value = _get(obj, path, key)
+    if not isinstance(value, bool):
+        _fail(f"{path}.{key}", f"expected a boolean, got {value!r}")
+    return value
+
+
+def _check_fraction(obj: dict, path: str, key: str) -> float:
+    value = _check_number(obj, path, key, minimum=0)
+    if value > 1:
+        _fail(f"{path}.{key}", f"expected a fraction in [0, 1], got {value!r}")
+    return value
+
+
+def _check_point(point: object, path: str) -> None:
+    if not isinstance(point, dict):
+        _fail(path, f"expected an object, got {point!r}")
+    for key in POINT_POSITIVE_FIELDS:
+        _check_number(point, path, key, minimum=0, exclusive=True)
+    _check_fraction(point, path, "sla_attainment")
+    _check_bool(point, path, "meets_slo")
+
+
+def _check_curve(curve: object, path: str) -> None:
+    if not isinstance(curve, dict):
+        _fail(path, f"expected an object, got {curve!r}")
+    _check_str(curve, path, "backend")
+    _check_str(curve, path, "process")
+    _check_number(curve, path, "slo_ms", minimum=0, exclusive=True)
+    _check_number(curve, path, "slo_percentile", minimum=0, exclusive=True)
+    _check_number(curve, path, "duration_s", minimum=0, exclusive=True)
+    _check_number(curve, path, "sla_capacity_per_s", minimum=0)
+    knee = _get(curve, path, "knee_rate_per_s")
+    if knee is not None:
+        _check_number(curve, path, "knee_rate_per_s", minimum=0, exclusive=True)
+    points = _get(curve, path, "points")
+    if not isinstance(points, list) or not points:
+        _fail(f"{path}.points", f"expected a non-empty list, got {points!r}")
+    for i, point in enumerate(points):
+        _check_point(point, f"{path}.points[{i}]")
+
+
+def _check_fleet_sla(fleet: object, path: str) -> None:
+    _check_fleet(fleet, path)
+    _check_number(fleet, path, "slo_ms", minimum=0, exclusive=True)
+    _check_number(fleet, path, "slo_percentile", minimum=0, exclusive=True)
+    _check_str(fleet, path, "process")
+    nodes = _get(fleet, path, "throughput_only_nodes")
+    if isinstance(nodes, bool) or not isinstance(nodes, int) or nodes <= 0:
+        _fail(
+            f"{path}.throughput_only_nodes",
+            f"expected a positive integer, got {nodes!r}",
+        )
+    _check_number(fleet, path, "observed_tail_ms", minimum=0)
+    _check_fraction(fleet, path, "sla_attainment")
+    _check_bool(fleet, path, "slo_bound")
+
+
+def _check_serving(serving: object, path: str) -> None:
+    """The v2 latency-under-load block: curves per process + SLA fleet."""
+    if not isinstance(serving, dict):
+        _fail(path, f"expected an object, got {serving!r}")
+    _check_number(serving, path, "slo_ms", minimum=0, exclusive=True)
+    _check_number(serving, path, "slo_percentile", minimum=0, exclusive=True)
+    _check_number(serving, path, "duration_s", minimum=0, exclusive=True)
+    processes = _get(serving, path, "processes")
+    if not isinstance(processes, dict) or not processes:
+        _fail(
+            f"{path}.processes",
+            f"expected a non-empty object, got {processes!r}",
+        )
+    for name, curve in processes.items():
+        if not isinstance(name, str) or not name:
+            _fail(f"{path}.processes", f"process keys must be strings, got {name!r}")
+        _check_curve(curve, f"{path}.processes.{name}")
+    fleet_sla = _get(serving, path, "fleet_sla")
+    if fleet_sla is not None:
+        # null means the SLO sits below the engine's latency floor — no
+        # fleet size can meet it, which is a legitimate lab result.
+        _check_fleet_sla(fleet_sla, f"{path}.fleet_sla")
 
 
 def _check_result(result: object, path: str) -> None:
@@ -179,6 +294,7 @@ def _check_result(result: object, path: str) -> None:
             minimum=0, exclusive=True,
         )
     _check_fleet(_get(result, path, "fleet"), f"{path}.fleet")
+    _check_serving(_get(result, path, "serving"), f"{path}.serving")
     planner = _get(result, path, "planner")
     if planner is not None and not isinstance(planner, dict):
         _fail(f"{path}.planner", f"expected null or an object, got {planner!r}")
@@ -186,7 +302,7 @@ def _check_result(result: object, path: str) -> None:
 
 
 def validate_payload(payload: object) -> dict:
-    """Validate one benchmark payload against schema version 1.
+    """Validate one benchmark payload against the current schema version.
 
     Returns the payload (typed as a dict) so calls can be chained; raises
     :class:`BenchSchemaError` naming the offending JSON path otherwise.

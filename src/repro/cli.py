@@ -6,13 +6,14 @@ Usage::
     repro plan MODEL [options]             # run Algorithm 1 on a model
     repro infer MODEL [options]            # deploy a backend, run inference
     repro fleet MODEL QPS [options]        # size fleets for a target load
+    repro serve MODEL [options]            # latency-under-load serving lab
     repro bench [options]                  # backend x model x batch sweep
     repro info                             # library / model overview
 
 (Also runnable as ``python -m repro``.)  ``MODEL`` is a registered model
 name (``small``, ``large``, ``dlrm-rmc2``); ``--backend`` selects a
 registered inference backend (``fpga``, ``fpga-compressed``, ``cpu``,
-``gpu``, ``nmp``).  ``--json`` on ``plan``/``infer``/``fleet``/``bench``/
+``gpu``, ``nmp``).  ``--json`` on ``plan``/``infer``/``fleet``/``serve``/``bench``/
 ``info`` emits machine-readable output for scripting: with ``--json``,
 stdout carries *only* the JSON document (progress goes to stderr), so the
 output pipes straight into ``python -m json.tool``.
@@ -220,6 +221,126 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             f"{fleet.latency_ms:9.3f} ms/query  "
             f"{fleet.utilisation:.0%} utilised"
         )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.runtime import available_backends
+    from repro.serving.arrivals import ARRIVAL_PROCESSES
+    from repro.serving.lab import (
+        DEFAULT_PROCESSES,
+        DEFAULT_UTILISATIONS,
+        session_lab,
+    )
+
+    if (rc := _check_model(args.model)) is not None:
+        return rc
+    processes = tuple(args.process or DEFAULT_PROCESSES)
+    unknown = [p for p in processes if p not in ARRIVAL_PROCESSES]
+    if unknown:
+        return _fail(
+            f"unknown arrival process(es) {unknown}; "
+            f"available: {list(ARRIVAL_PROCESSES)}"
+        )
+    explicit_backends = args.backend is not None
+    backends = args.backend or list(available_backends())
+    sweep_knobs = {
+        "processes": processes,
+        "rates": tuple(args.rate) if args.rate else None,
+        "utilisations": tuple(args.utilisation or DEFAULT_UTILISATIONS),
+        "duration_s": args.duration_s,
+        "slo_ms": args.slo_ms,
+        "slo_percentile": args.percentile,
+        "seed": args.seed,
+    }
+    report: dict[str, object] = {}
+    for name in backends:
+        args_one = argparse.Namespace(**{**vars(args), "backend": name})
+        session = _build_session(args_one, seed=args.seed)
+        if session is None:
+            if explicit_backends:
+                return 2
+            # Sweeping every registered backend: some cannot deploy this
+            # model as-is (fpga-compressed needs --max-rows to fit its
+            # 256 MiB materialisation limit) — skip them with a note
+            # rather than discarding the whole lab.
+            print(f"serve {args.model}/{name}: skipped (cannot deploy; "
+                  "see error above)", file=sys.stderr)
+            continue
+        print(f"serve {args.model}/{name} ...", file=sys.stderr)
+        try:
+            lab = session_lab(session, **sweep_knobs)
+            fleet = session.fleet(args.qps, headroom=args.headroom)
+            try:
+                fleet_sla = session.fleet_sla(
+                    args.qps,
+                    slo_ms=args.slo_ms,
+                    slo_percentile=args.percentile,
+                    duration_s=args.duration_s,
+                    headroom=args.headroom,
+                    seed=args.seed,
+                ).as_dict()
+            except ValueError as exc:
+                # The SLO sits below this engine's latency floor: no fleet
+                # size can meet it, which is itself a lab result.
+                fleet_sla = None
+                print(f"  fleet-sla: {exc}", file=sys.stderr)
+        except ValueError as exc:
+            return _fail(str(exc))
+        lab["fleet"] = fleet.as_dict()
+        lab["fleet_sla"] = fleet_sla
+        report[name] = lab
+    if not report:
+        return _fail("no backend could deploy this model (see errors above)")
+    payload = {
+        "model": args.model,
+        "slo_ms": args.slo_ms,
+        "slo_percentile": args.percentile,
+        "duration_s": args.duration_s,
+        "seed": args.seed,
+        "target_qps": args.qps,
+        "processes": list(processes),
+        "backends": report,
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(
+        f"serving lab: {args.model}, p{args.percentile:g} SLO "
+        f"{args.slo_ms:g} ms, {args.duration_s:g}s windows"
+    )
+    for name, lab in report.items():
+        print(f"\n{name}:")
+        for process, curve in lab["processes"].items():
+            cap = curve["sla_capacity_per_s"]
+            knee = curve["knee_rate_per_s"]
+            knee_text = f"{knee:,.0f}/s" if knee is not None else "-"
+            print(
+                f"  {process}: SLA capacity {cap:,.0f}/s, knee {knee_text}"
+            )
+            for p in curve["points"]:
+                print(
+                    f"    {p['rate_per_s']:>12,.0f}/s "
+                    f"(u={p['utilisation']:4.2f}): "
+                    f"p50 {p['p50_ms']:8.3f}  p99 {p['p99_ms']:8.3f}  "
+                    f"p99.9 {p['p999_ms']:8.3f} ms  "
+                    f"SLA {p['sla_attainment']:6.1%}"
+                )
+        fleet = lab["fleet"]
+        fleet_sla = lab["fleet_sla"]
+        if fleet_sla is None:
+            print(
+                f"  fleet @ {args.qps:,.0f} qps: {fleet['nodes']} nodes "
+                f"(throughput); SLO unattainable at any size"
+            )
+        else:
+            bound = " (SLO-bound)" if fleet_sla["slo_bound"] else ""
+            print(
+                f"  fleet @ {args.qps:,.0f} qps: {fleet['nodes']} nodes "
+                f"(throughput) -> {fleet_sla['nodes']} nodes "
+                f"(p{args.percentile:g} <= {args.slo_ms:g} ms, "
+                f"${fleet_sla['usd_per_hour']:,.2f}/h){bound}"
+            )
     return 0
 
 
@@ -458,6 +579,55 @@ def build_parser() -> argparse.ArgumentParser:
     p_fleet.add_argument("--headroom", type=float, default=0.7)
     p_fleet.add_argument("--json", action="store_true")
     p_fleet.set_defaults(func=_cmd_fleet)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="trace-driven serving lab: latency-under-load curves + "
+        "SLA-aware fleet sizing",
+    )
+    p_serve.add_argument("model", help="small | large | dlrm-rmc2")
+    _add_backend_flag(p_serve, action="append", default=None)
+    p_serve.add_argument(
+        "--process", action="append", default=None, metavar="NAME",
+        help="arrival process to sweep (poisson | uniform | diurnal | "
+        "bursty | flash; repeatable; default: poisson diurnal bursty)",
+    )
+    p_serve.add_argument(
+        "--utilisation", action="append", type=float, default=None,
+        metavar="FRAC",
+        help="offered load as a fraction of per-node throughput "
+        "(repeatable; default: 0.2 0.4 0.6 0.8 0.95 1.1)",
+    )
+    p_serve.add_argument(
+        "--rate", action="append", type=float, default=None, metavar="QPS",
+        help="absolute offered rate in queries/s (repeatable; overrides "
+        "--utilisation)",
+    )
+    p_serve.add_argument(
+        "--slo-ms", type=float, default=30.0,
+        help="latency SLO (default 30 ms — 'tens of milliseconds', sec. 1)",
+    )
+    p_serve.add_argument(
+        "--percentile", type=float, default=99.0,
+        help="percentile the SLO is judged at (default p99)",
+    )
+    p_serve.add_argument(
+        "--duration-s", type=float, default=0.2,
+        help="simulated window per measurement (default 0.2 s)",
+    )
+    p_serve.add_argument(
+        "--qps", type=float, default=1_000_000.0,
+        help="fleet-sizing target load (queries per second)",
+    )
+    p_serve.add_argument("--headroom", type=float, default=0.7)
+    p_serve.add_argument(
+        "--max-rows", type=int, default=None,
+        help="row-cap tables before deployment (required for "
+        "fpga-compressed, whose codes must fit 256 MiB)",
+    )
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument("--json", action="store_true")
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_bench = sub.add_parser(
         "bench",

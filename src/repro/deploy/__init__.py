@@ -10,13 +10,21 @@ next questions, answerable with the same substrates:
   (:mod:`repro.deploy.colocation`).
 """
 
-from repro.deploy.capacity import FleetPlan, plan_fleet, plan_fleet_for
+from repro.deploy.capacity import (
+    FleetPlan,
+    SlaFleetPlan,
+    plan_fleet,
+    plan_fleet_for,
+    plan_fleet_sla,
+)
 from repro.deploy.colocation import CoLocationPlan, co_locate
 
 __all__ = [
     "FleetPlan",
+    "SlaFleetPlan",
     "plan_fleet",
     "plan_fleet_for",
+    "plan_fleet_sla",
     "CoLocationPlan",
     "co_locate",
 ]

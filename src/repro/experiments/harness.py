@@ -13,6 +13,7 @@ from repro.experiments import (
     cost,
     figure3,
     figure7,
+    latency_under_load,
     quantization,
     queuing,
     related_work,
@@ -36,6 +37,7 @@ EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
     "cost": cost.run,
     "queuing": queuing.run,
     "serving_sla": serving_sla.run,
+    "latency_under_load": latency_under_load.run,
     "quantization": quantization.run,
     "related_work": related_work.run,
     "compression": compression.run,

@@ -19,6 +19,7 @@ curves).
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -39,6 +40,11 @@ from repro.serving.queueing import (
     PipelineServerSim,
     ServingResult,
 )
+
+if TYPE_CHECKING:  # lazy at runtime: lab/capacity build on sessions
+    from repro.deploy.capacity import SlaFleetPlan
+    from repro.serving.arrivals import RateTrace
+    from repro.serving.lab import LoadCurve
 
 
 class Session(ABC):
@@ -92,16 +98,78 @@ class Session(ABC):
     def serve(
         self, arrivals_ns: np.ndarray, **server_knobs: object
     ) -> ServingResult:
-        """Simulate this engine serving a stream of arrival timestamps."""
-        return self.server(**server_knobs).run(
-            np.asarray(arrivals_ns, dtype=np.float64)
-        )
+        """Simulate this engine serving a stream of arrival timestamps.
+
+        ``arrivals_ns`` comes from the generators in
+        :mod:`repro.serving.arrivals` (steady :func:`poisson_arrivals` /
+        :func:`uniform_arrivals`, or :func:`trace_arrivals` over a
+        time-varying :class:`~repro.serving.arrivals.RateTrace`); an
+        empty stream is rejected with a clear error rather than yielding
+        NaN latency statistics.  For rate sweeps use :meth:`sweep`, for
+        trace replay :meth:`serve_trace`; the serving lab
+        (:mod:`repro.serving.lab`) builds latency-under-load curves from
+        this method across all backends.
+        """
+        arrivals = np.asarray(arrivals_ns, dtype=np.float64)
+        if arrivals.size == 0:
+            raise ValueError(
+                f"{self.backend}: cannot serve an empty arrival stream "
+                "(raise the rate or the duration)"
+            )
+        return self.server(**server_knobs).run(arrivals)
+
+    def serve_trace(
+        self,
+        trace: "RateTrace",
+        seed: int = 0,
+        **server_knobs: object,
+    ) -> ServingResult:
+        """Replay a time-varying :class:`~repro.serving.arrivals.RateTrace`.
+
+        The trace is realised as a non-homogeneous Poisson stream
+        (:func:`~repro.serving.arrivals.trace_arrivals`, seeded) and
+        served through this engine's queueing model.
+        """
+        from repro.serving.arrivals import trace_arrivals
+
+        rng = np.random.default_rng(seed)
+        return self.serve(trace_arrivals(rng, trace), **server_knobs)
+
+    def sweep(self, **sweep_knobs: object) -> "LoadCurve":
+        """Latency-vs-load curve of this engine under one arrival process.
+
+        Delegates to :func:`repro.serving.lab.load_sweep`; knobs include
+        ``process`` (``"poisson"``, ``"diurnal"``, ``"bursty"``, ...),
+        ``rates`` or ``utilisations``, ``duration_s``, ``slo_ms``, and
+        ``seed``.
+        """
+        from repro.serving.lab import load_sweep
+
+        return load_sweep(self, **sweep_knobs)
 
     def fleet(self, target_qps: float, headroom: float = 0.7) -> FleetPlan:
-        """Size a fleet of this engine for ``target_qps``."""
+        """Size a fleet of this engine for ``target_qps`` by throughput.
+
+        Buys throughput headroom only; :meth:`fleet_sla` additionally
+        holds a latency SLO under a simulated arrival pattern.
+        """
         return plan_fleet_for(target_qps, [self.perf()], headroom=headroom)[
             self.backend
         ]
+
+    def fleet_sla(
+        self, target_qps: float, *, slo_ms: float, **plan_knobs: object
+    ) -> "SlaFleetPlan":
+        """Size a fleet that meets a latency SLO under simulated load.
+
+        Delegates to :func:`repro.deploy.capacity.plan_fleet_sla`; knobs
+        include ``process`` or ``trace``, ``slo_percentile``,
+        ``duration_s``, ``headroom``, and ``seed``.  Never returns fewer
+        nodes than :meth:`fleet`.
+        """
+        from repro.deploy.capacity import plan_fleet_sla
+
+        return plan_fleet_sla(target_qps, self, slo_ms=slo_ms, **plan_knobs)
 
     # -- reporting ----------------------------------------------------------
 

@@ -1,26 +1,76 @@
-"""Online-serving substrate: arrival processes, SLA/tail-latency simulation.
+"""Online-serving substrate: arrivals, queueing, SLA, and the serving lab.
 
 Quantifies the paper's serving argument (sections 1, 2.3, 4.1): a CPU
 engine must batch to reach throughput, but batching inflates latency and
 SLAs of tens of milliseconds cap the usable batch size; MicroRec processes
 items one by one through a deep pipeline, so its latency is microseconds at
 *any* load below capacity.
+
+Layers, bottom up:
+
+* :mod:`repro.serving.arrivals` — steady Poisson/uniform generators and
+  time-varying :class:`RateTrace` s (diurnal, MMPP-style bursty, flash
+  crowd) realised by thinning;
+* :mod:`repro.serving.queueing` — the batched and pipelined server
+  simulators and the :class:`ServingResult` latency distribution;
+* :mod:`repro.serving.sla` — the original two-engine tail-latency sweep;
+* :mod:`repro.serving.lab` — the trace-driven serving lab: latency-vs-load
+  :class:`LoadCurve` s (p50/p95/p99/p99.9, SLA attainment, knee
+  detection) for any deployed :class:`~repro.runtime.session.Session`.
 """
 
-from repro.serving.arrivals import poisson_arrivals, uniform_arrivals
+from repro.serving.arrivals import (
+    ARRIVAL_PROCESSES,
+    RateSegment,
+    RateTrace,
+    arrivals_for,
+    bursty_trace,
+    diurnal_trace,
+    flash_crowd_trace,
+    poisson_arrivals,
+    segment,
+    trace_arrivals,
+    uniform_arrivals,
+)
+from repro.serving.lab import (
+    DEFAULT_PROCESSES,
+    DEFAULT_UTILISATIONS,
+    LoadCurve,
+    LoadPoint,
+    lab_seed,
+    load_sweep,
+    session_lab,
+)
 from repro.serving.queueing import (
     BatchedServerSim,
     PipelineServerSim,
     ServingResult,
 )
-from repro.serving.sla import SlaReport, sla_capacity_sweep
+from repro.serving.sla import DEFAULT_SLA_MS, SlaReport, sla_capacity_sweep
 
 __all__ = [
+    "ARRIVAL_PROCESSES",
+    "RateSegment",
+    "RateTrace",
+    "arrivals_for",
+    "bursty_trace",
+    "diurnal_trace",
+    "flash_crowd_trace",
     "poisson_arrivals",
+    "segment",
+    "trace_arrivals",
     "uniform_arrivals",
+    "DEFAULT_PROCESSES",
+    "DEFAULT_UTILISATIONS",
+    "LoadCurve",
+    "LoadPoint",
+    "lab_seed",
+    "load_sweep",
+    "session_lab",
     "BatchedServerSim",
     "PipelineServerSim",
     "ServingResult",
+    "DEFAULT_SLA_MS",
     "SlaReport",
     "sla_capacity_sweep",
 ]

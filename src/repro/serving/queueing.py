@@ -22,12 +22,23 @@ import numpy as np
 
 @dataclass(frozen=True)
 class ServingResult:
-    """Latency distribution of one serving simulation."""
+    """Latency distribution of one serving simulation.
+
+    Empty streams are rejected outright: zero arrivals would make every
+    percentile a bare NumPy error and the mean a NaN-with-a-warning, so
+    the degenerate case fails loudly here instead of propagating garbage
+    into SLA curves (see :meth:`repro.runtime.session.Session.serve`).
+    """
 
     arrivals_ns: np.ndarray
     completions_ns: np.ndarray
 
     def __post_init__(self) -> None:
+        if self.arrivals_ns.size == 0:
+            raise ValueError(
+                "a ServingResult needs at least one query; the arrival "
+                "stream is empty (raise the rate or the duration)"
+            )
         if self.arrivals_ns.shape != self.completions_ns.shape:
             raise ValueError("arrivals and completions must align")
         if (self.completions_ns < self.arrivals_ns).any():
@@ -49,12 +60,26 @@ class ServingResult:
         return self.percentile_ms(50)
 
     @property
+    def p95_ms(self) -> float:
+        return self.percentile_ms(95)
+
+    @property
     def p99_ms(self) -> float:
         return self.percentile_ms(99)
 
     @property
+    def p999_ms(self) -> float:
+        return self.percentile_ms(99.9)
+
+    @property
     def mean_ms(self) -> float:
         return float(self.latencies_ms.mean())
+
+    def sla_attainment(self, slo_ms: float) -> float:
+        """Fraction of queries answered within ``slo_ms``."""
+        if slo_ms <= 0:
+            raise ValueError(f"slo_ms must be positive, got {slo_ms}")
+        return float((self.latencies_ms <= slo_ms).mean())
 
     @property
     def achieved_throughput_per_s(self) -> float:
@@ -122,10 +147,12 @@ class PipelineServerSim:
 
     def run(self, arrivals_ns: np.ndarray) -> ServingResult:
         arrivals = np.sort(np.asarray(arrivals_ns, dtype=np.float64))
-        starts = np.empty_like(arrivals)
-        prev = -np.inf
-        for i, t in enumerate(arrivals):
-            prev = max(t, prev + self.ii_ns)
-            starts[i] = prev
+        # The recurrence start[i] = max(arrival[i], start[i-1] + II)
+        # unrolls to start[i] = max_{j<=i}(arrival[j] + (i-j) * II), which
+        # is a running maximum of (arrival[j] - j * II) shifted back — one
+        # vectorised pass instead of a Python loop per query.
+        idx = np.arange(arrivals.size, dtype=np.float64)
+        shifted = arrivals - idx * self.ii_ns
+        starts = np.maximum.accumulate(shifted) + idx * self.ii_ns
         completions = starts + self.latency_ns
         return ServingResult(arrivals_ns=arrivals, completions_ns=completions)

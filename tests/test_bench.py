@@ -55,6 +55,22 @@ class TestConfig:
         with pytest.raises(ValueError):
             BenchConfig(name="../escape")
 
+    def test_serving_knob_validation(self):
+        with pytest.raises(ValueError):
+            BenchConfig(slo_ms=0.0)
+        with pytest.raises(ValueError):
+            BenchConfig(serve_duration_s=-1.0)
+        with pytest.raises(ValueError):
+            BenchConfig(serve_processes=())
+        with pytest.raises(ValueError):
+            BenchConfig(serve_processes=("poisson", "poisson"))
+        with pytest.raises(ValueError, match="unknown serve_processes"):
+            BenchConfig(serve_processes=("sawtooth",))
+        with pytest.raises(ValueError):
+            BenchConfig(serve_utilisations=())
+        with pytest.raises(ValueError):
+            BenchConfig(serve_utilisations=(0.5, -0.1))
+
     def test_unknown_names_rejected(self):
         with pytest.raises(ValueError, match="unknown model"):
             run_bench(BenchConfig(models=("medium",)))
@@ -97,6 +113,33 @@ class TestRunBench:
         fpga, cpu = by_backend["fpga"]["perf"], by_backend["cpu"]["perf"]
         assert fpga["usd_per_million_queries"] < cpu["usd_per_million_queries"]
         assert fpga["latency_us"] < cpu["latency_us"]
+
+    def test_serving_block_covers_processes(self, payload, config):
+        for result in payload["results"]:
+            serving = result["serving"]
+            assert set(serving["processes"]) == set(config.serve_processes)
+            for curve in serving["processes"].values():
+                assert len(curve["points"]) == len(config.serve_utilisations)
+                for point in curve["points"]:
+                    assert 0.0 <= point["sla_attainment"] <= 1.0
+            assert serving["fleet_sla"] is not None
+            assert (
+                serving["fleet_sla"]["nodes"]
+                >= serving["fleet_sla"]["throughput_only_nodes"]
+            )
+
+    def test_pipelined_engines_hold_sla_capacity(self, payload):
+        # The paper's claim in artifact form: under Poisson load at the
+        # swept utilisations, the pipelined fpga keeps p99 under the SLO
+        # everywhere (full SLA capacity) while the batched cpu does not
+        # hold its highest swept rate.
+        by_backend = {r["backend"]: r for r in payload["results"]}
+        fpga = by_backend["fpga"]["serving"]["processes"]["poisson"]
+        top_rate = max(p["rate_per_s"] for p in fpga["points"])
+        assert fpga["sla_capacity_per_s"] == pytest.approx(top_rate)
+        cpu = by_backend["cpu"]["serving"]["processes"]["poisson"]
+        cpu_top = max(p["rate_per_s"] for p in cpu["points"])
+        assert cpu["sla_capacity_per_s"] < cpu_top
 
 
 class TestValidator:
@@ -148,6 +191,49 @@ class TestValidator:
         with pytest.raises(BenchSchemaError):
             validate_payload([1, 2, 3])
 
+    def test_rejects_missing_serving_block(self, payload):
+        bad = copy.deepcopy(payload)
+        del bad["results"][0]["serving"]
+        with pytest.raises(BenchSchemaError, match="serving"):
+            validate_payload(bad)
+
+    def test_rejects_empty_serving_processes(self, payload):
+        bad = copy.deepcopy(payload)
+        bad["results"][0]["serving"]["processes"] = {}
+        with pytest.raises(BenchSchemaError, match="processes"):
+            validate_payload(bad)
+
+    def test_rejects_bad_curve_point(self, payload):
+        bad = copy.deepcopy(payload)
+        curve = next(iter(bad["results"][0]["serving"]["processes"].values()))
+        curve["points"][0]["p99_ms"] = 0
+        with pytest.raises(BenchSchemaError, match="p99_ms"):
+            validate_payload(bad)
+        bad = copy.deepcopy(payload)
+        curve = next(iter(bad["results"][0]["serving"]["processes"].values()))
+        curve["points"][0]["sla_attainment"] = 1.5
+        with pytest.raises(BenchSchemaError, match="sla_attainment"):
+            validate_payload(bad)
+
+    def test_rejects_bad_fleet_sla(self, payload):
+        bad = copy.deepcopy(payload)
+        bad["results"][0]["serving"]["fleet_sla"]["throughput_only_nodes"] = 0
+        with pytest.raises(BenchSchemaError, match="throughput_only_nodes"):
+            validate_payload(bad)
+
+    def test_null_fleet_sla_allowed(self, payload):
+        ok = copy.deepcopy(payload)
+        ok["results"][0]["serving"]["fleet_sla"] = None
+        assert validate_payload(ok) is ok
+
+    def test_rejects_missing_serving_config_knobs(self, payload):
+        for knob in ("slo_ms", "serve_duration_s", "serve_processes",
+                     "serve_utilisations"):
+            bad = copy.deepcopy(payload)
+            del bad["config"][knob]
+            with pytest.raises(BenchSchemaError, match=knob):
+                validate_payload(bad)
+
     def test_write_refuses_invalid(self, payload, tmp_path):
         bad = copy.deepcopy(payload)
         bad["results"] = []
@@ -184,6 +270,63 @@ class TestCompare:
         assert comparison["removed"] == ["small/nmp"]
         lines = regressions(comparison)
         assert any("latency_us rose 100.0%" in line for line in lines)
+
+    def test_serving_metrics_compared(self, payload, config):
+        comparison = compare_payloads(payload, payload)
+        entry = comparison["entries"][0]
+        for process in config.serve_processes:
+            assert f"sla_capacity_per_s:{process}" in entry["metrics"]
+        assert "sla_nodes" in entry["metrics"]
+
+    def test_sla_capacity_drop_is_a_regression(self, payload):
+        worse = copy.deepcopy(payload)
+        serving = worse["results"][0]["serving"]
+        process = next(iter(serving["processes"]))
+        serving["processes"][process]["sla_capacity_per_s"] *= 0.5
+        lines = regressions(compare_payloads(payload, worse))
+        assert any(
+            f"sla_capacity_per_s:{process} fell 50.0%" in line
+            for line in lines
+        )
+
+    def test_sla_fleet_growth_is_a_regression(self, payload):
+        worse = copy.deepcopy(payload)
+        worse["results"][0]["serving"]["fleet_sla"]["nodes"] *= 3
+        lines = regressions(compare_payloads(payload, worse))
+        assert any("sla_nodes rose 200.0%" in line for line in lines)
+
+    def test_fleet_sla_going_null_is_a_regression(self, payload):
+        # The SLO becoming unattainable (fleet_sla: {...} -> null) must
+        # not vanish from the comparison.
+        worse = copy.deepcopy(payload)
+        worse["results"][0]["serving"]["fleet_sla"] = None
+        comparison = compare_payloads(payload, worse)
+        backend = payload["results"][0]["backend"]
+        entry = next(
+            e for e in comparison["entries"] if e["backend"] == backend
+        )
+        assert entry["metrics"]["sla_nodes"]["new"] is None
+        lines = regressions(comparison)
+        assert any(
+            "sla_nodes disappeared" in line and f"/{backend}" in line
+            for line in lines
+        )
+        # The reverse direction (newly attainable) is not a regression.
+        assert not any(
+            "sla_nodes" in line
+            for line in regressions(compare_payloads(worse, payload))
+        )
+
+    def test_results_without_serving_yield_no_serving_metrics(self, payload):
+        # The metric flattener (not the validator) is what keeps the
+        # comparison graceful for results lacking a serving block.
+        from repro.bench.compare import _serving_metrics
+
+        stripped = {
+            k: v for k, v in payload["results"][0].items() if k != "serving"
+        }
+        assert _serving_metrics(stripped) == {}
+        assert _serving_metrics(payload["results"][0]) != {}
 
 
 class TestCliBench:

@@ -28,6 +28,7 @@ class TestHarness:
         extensions = {
             "queuing",
             "serving_sla",
+            "latency_under_load",
             "quantization",
             "related_work",
             "compression",
