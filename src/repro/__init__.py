@@ -14,6 +14,15 @@ Quickstart — deploy a model on a named backend and use the session::
     print(session.perf())        # normalised latency/throughput/cost
     print(session.fleet(1e6))    # nodes for 1M queries/s
 
+Heterogeneous fleets compose the same surface (:mod:`repro.cluster`)::
+
+    cluster = repro.deploy_cluster(
+        [repro.ReplicaSpec("small", "fpga"),
+         repro.ReplicaSpec("small", "cpu", count=2)],
+        router="sla-aware", max_rows=4096,
+    )
+    print(cluster.serve(arrivals_ns).p99_ms)   # blended across tiers
+
 The session API (:mod:`repro.runtime`) replaces hand-wiring the engine
 classes.  Before::
 
@@ -72,7 +81,8 @@ from repro.models import (
     resolve_model,
 )
 
-# The runtime package imports the layers above, so it re-exports last.
+# The runtime package imports the layers above, so it re-exports last,
+# and the cluster package builds on the runtime.
 from repro.runtime import (
     CpuSession,
     FpgaSession,
@@ -80,6 +90,7 @@ from repro.runtime import (
     InferenceBackend,
     NmpSession,
     PerfEstimate,
+    ServingSurface,
     Session,
     UnknownBackendError,
     available_backends,
@@ -88,10 +99,32 @@ from repro.runtime import (
     register_backend,
 )
 
+from repro.cluster import (
+    Cluster,
+    ClusterServingResult,
+    ReplicaSpec,
+    RoutingPolicy,
+    UnknownRoutingPolicyError,
+    available_policies,
+    deploy_cluster,
+    get_policy,
+    register_policy,
+)
+
 __version__ = "1.1.0"
 
 __all__ = [
     "deploy_model",
+    "deploy_cluster",
+    "Cluster",
+    "ClusterServingResult",
+    "ReplicaSpec",
+    "RoutingPolicy",
+    "UnknownRoutingPolicyError",
+    "available_policies",
+    "get_policy",
+    "register_policy",
+    "ServingSurface",
     "Session",
     "FpgaSession",
     "CpuSession",

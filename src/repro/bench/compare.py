@@ -31,8 +31,17 @@ SERVING_METRICS = {
     "sla_nodes": "higher-is-worse",
 }
 
-#: Every compared metric's regression direction (perf + serving).
-ALL_METRIC_DIRECTIONS = {**METRICS, **SERVING_METRICS}
+#: Routed-cluster metrics (schema v3) compared when both artifacts carry
+#: a non-null ``cluster`` block: blended tail latency, SLA attainment,
+#: and the fleet's operating cost per million queries.
+CLUSTER_METRICS = {
+    "p99_ms": "higher-is-worse",
+    "sla_attainment": "lower-is-worse",
+    "usd_per_million_queries": "higher-is-worse",
+}
+
+#: Every compared metric's regression direction (perf + serving + cluster).
+ALL_METRIC_DIRECTIONS = {**METRICS, **SERVING_METRICS, **CLUSTER_METRICS}
 
 
 def _serving_metrics(result: dict) -> dict[str, float]:
@@ -67,6 +76,19 @@ def _delta(before: float, after: float) -> float | None:
     if before == 0:
         return 0.0 if after == 0 else None
     return (after - before) / before * 100.0
+
+
+def _cluster_metrics(payload: dict) -> dict[str, float] | None:
+    """Flatten a payload's cluster block into comparable scalars."""
+    cluster = payload.get("cluster")
+    if not isinstance(cluster, dict):
+        return None
+    result = cluster["result"]
+    return {
+        "p99_ms": result["blended"]["p99_ms"],
+        "sla_attainment": result["blended"]["sla_attainment"],
+        "usd_per_million_queries": result["usd_per_million_queries"],
+    }
 
 
 def _by_pair(payload: dict) -> dict[tuple[str, str], dict]:
@@ -120,9 +142,22 @@ def compare_payloads(old: dict, new: dict) -> dict[str, object]:
         entries.append(
             {"model": key[0], "backend": key[1], "metrics": deltas}
         )
+    old_cluster = _cluster_metrics(old)
+    new_cluster = _cluster_metrics(new)
+    cluster_deltas: dict[str, object] | None = None
+    if old_cluster is not None and new_cluster is not None:
+        cluster_deltas = {
+            metric: {
+                "old": old_cluster[metric],
+                "new": new_cluster[metric],
+                "delta_pct": _delta(old_cluster[metric], new_cluster[metric]),
+            }
+            for metric in CLUSTER_METRICS
+        }
     return {
         "baseline_name": old["name"],
         "entries": entries,
+        "cluster": cluster_deltas,
         "removed": sorted(
             f"{m}/{b}" for m, b in old_pairs.keys() - new_pairs.keys()
         ),
@@ -137,7 +172,14 @@ def regressions(
 ) -> list[str]:
     """Human-readable regression lines worse than ``threshold_pct``."""
     lines = []
-    for entry in comparison["entries"]:
+    entries = list(comparison["entries"])
+    cluster_deltas = comparison.get("cluster")
+    if cluster_deltas:
+        entries.append(
+            {"model": "cluster", "backend": "routed",
+             "metrics": cluster_deltas}
+        )
+    for entry in entries:
         for metric, record in entry["metrics"].items():
             direction = _direction(metric)
             before, after = record["old"], record["new"]

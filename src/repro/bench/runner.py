@@ -58,6 +58,14 @@ class BenchConfig:
     serve_processes: tuple[str, ...] = ("poisson", "diurnal", "bursty")
     #: Offered-load grid as fractions of per-node sustained throughput.
     serve_utilisations: tuple[float, ...] = (0.25, 0.5, 0.8, 1.05)
+    #: Tiers of the v3 routed-cluster block, one replica each, on the
+    #: first swept model; empty disables the block (``"cluster": null``).
+    cluster_backends: tuple[str, ...] = ("fpga", "gpu", "cpu")
+    #: Routing policy the cluster block serves under.
+    cluster_router: str = "sla-aware"
+    #: Offered load of the cluster block as a fraction of the cluster's
+    #: summed capacity.
+    cluster_utilisation: float = 0.8
     #: Artifact name: the sweep writes ``BENCH_<name>.json``.
     name: str = "full"
 
@@ -108,6 +116,15 @@ class BenchConfig:
                 f"serve_utilisations must be positive, got "
                 f"{self.serve_utilisations}"
             )
+        if len(set(self.cluster_backends)) != len(self.cluster_backends):
+            raise ValueError(
+                f"duplicate cluster_backends in {self.cluster_backends}"
+            )
+        if self.cluster_utilisation <= 0:
+            raise ValueError(
+                f"cluster_utilisation must be positive, got "
+                f"{self.cluster_utilisation}"
+            )
         if not _NAME_RE.match(self.name):
             raise ValueError(
                 f"name must match {_NAME_RE.pattern}, got {self.name!r}"
@@ -136,6 +153,8 @@ class BenchConfig:
 
 
 def _check_names(config: BenchConfig) -> None:
+    from repro.cluster import available_policies
+
     unknown_models = [m for m in config.models if m not in MODEL_FACTORIES]
     if unknown_models:
         raise ValueError(
@@ -144,13 +163,71 @@ def _check_names(config: BenchConfig) -> None:
         )
     registered = set(available_backends())
     unknown_backends = [
-        b for b in config.resolved_backends() if b not in registered
+        b
+        for b in (*config.resolved_backends(), *config.cluster_backends)
+        if b not in registered
     ]
     if unknown_backends:
         raise ValueError(
             f"unknown backend(s) {unknown_backends}; "
             f"registered: {sorted(registered)}"
         )
+    if (
+        config.cluster_backends
+        and config.cluster_router not in available_policies()
+    ):
+        raise ValueError(
+            f"unknown cluster_router {config.cluster_router!r}; "
+            f"registered: {sorted(available_policies())}"
+        )
+
+
+def _bench_cluster(config: BenchConfig) -> dict[str, object] | None:
+    """The v3 routed-cluster block: one heterogeneous serve per sweep.
+
+    One replica per configured tier, first swept model, served at a
+    fixed fraction of the cluster's summed capacity under the configured
+    router — enough for ``--compare`` to track blended tail latency and
+    $/M-queries of the routed fleet across commits.
+    """
+    if not config.cluster_backends:
+        return None
+    from repro.cluster import ReplicaSpec, deploy_cluster
+    from repro.serving.arrivals import poisson_arrivals
+    from repro.serving.lab import lab_seed
+
+    import numpy as np
+
+    model_name = config.models[0]
+    cluster = deploy_cluster(
+        [
+            ReplicaSpec(model=model_name, backend=backend)
+            for backend in config.cluster_backends
+        ],
+        router=config.cluster_router,
+        slo_ms=config.slo_ms,
+        max_rows=config.max_rows,
+        seed=config.seed,
+    )
+    rate = (
+        config.cluster_utilisation
+        * cluster.perf().throughput_items_per_s
+    )
+    rng = np.random.default_rng(
+        lab_seed(config.seed, cluster.backend, "bench-cluster")
+    )
+    arrivals = poisson_arrivals(rng, rate, config.serve_duration_s)
+    result = cluster.serve(arrivals)
+    return {
+        "model": model_name,
+        "tiers": list(config.cluster_backends),
+        "router": config.cluster_router,
+        "rate_per_s": rate,
+        "utilisation": config.cluster_utilisation,
+        "duration_s": config.serve_duration_s,
+        "slo_ms": config.slo_ms,
+        "result": result.as_dict(config.slo_ms),
+    }
 
 
 def _bench_one(
@@ -232,6 +309,16 @@ def run_bench(
                 f"({result['wall_clock_s']:.2f}s)"
             )
             results.append(result)
+    cluster_block = _bench_cluster(config)
+    if cluster_block is not None:
+        blended = cluster_block["result"]["blended"]
+        emit(
+            f"bench cluster {'+'.join(config.cluster_backends)} "
+            f"({config.cluster_router}): "
+            f"p99 {blended['p99_ms']:.3f} ms, "
+            f"SLA {blended['sla_attainment']:.1%} @ "
+            f"{cluster_block['rate_per_s']:,.0f}/s"
+        )
     payload: dict[str, object] = {
         "suite": SUITE,
         "schema_version": SCHEMA_VERSION,
@@ -248,8 +335,12 @@ def run_bench(
             "serve_duration_s": config.serve_duration_s,
             "serve_processes": list(config.serve_processes),
             "serve_utilisations": list(config.serve_utilisations),
+            "cluster_backends": list(config.cluster_backends),
+            "cluster_router": config.cluster_router,
+            "cluster_utilisation": config.cluster_utilisation,
         },
         "results": results,
+        "cluster": cluster_block,
         "wall_clock_s": time.perf_counter() - started,
     }
     return validate_payload(payload)

@@ -22,8 +22,11 @@ from typing import Sequence
 #: could break a consumer: removed/renamed keys, changed types or units.
 #: v2 added the per-result ``serving`` block (latency-under-load curves
 #: per arrival process + the SLA-aware fleet plan) and the serving knobs
-#: in ``config``.
-SCHEMA_VERSION = 2
+#: in ``config``.  v3 added the top-level ``cluster`` block (a routed
+#: heterogeneous cluster served at a fixed utilisation: blended and
+#: per-tier latency plus fleet cost; null when the sweep disabled it)
+#: and the cluster knobs in ``config``.
+SCHEMA_VERSION = 3
 
 #: The ``suite`` discriminator: distinguishes our artifacts from any other
 #: JSON a pipeline might hand the validator.
@@ -122,6 +125,19 @@ def _check_str_list(obj: dict, path: str, key: str) -> list[str]:
     return value
 
 
+#: Numeric fields the cluster block's blended record must carry, all
+#: strictly positive (mirrors
+#: :meth:`repro.cluster.cluster.ClusterServingResult.as_dict`).
+CLUSTER_BLENDED_POSITIVE_FIELDS = (
+    "mean_ms",
+    "p50_ms",
+    "p95_ms",
+    "p99_ms",
+    "p999_ms",
+    "achieved_qps",
+)
+
+
 def _check_config(config: object, path: str) -> None:
     if not isinstance(config, dict):
         _fail(path, f"expected an object, got {config!r}")
@@ -168,6 +184,24 @@ def _check_config(config: object, path: str) -> None:
                 f"{path}.serve_utilisations[{i}]",
                 f"expected a positive number, got {u!r}",
             )
+    # v3 cluster knobs: an empty backend list means the sweep disabled
+    # the cluster block (and ``$.cluster`` must then be null).
+    cluster_backends = _get(config, path, "cluster_backends")
+    if not isinstance(cluster_backends, list):
+        _fail(
+            f"{path}.cluster_backends",
+            f"expected a list, got {cluster_backends!r}",
+        )
+    for i, item in enumerate(cluster_backends):
+        if not isinstance(item, str) or not item:
+            _fail(
+                f"{path}.cluster_backends[{i}]",
+                f"expected a string, got {item!r}",
+            )
+    _check_str(config, path, "cluster_router")
+    _check_number(
+        config, path, "cluster_utilisation", minimum=0, exclusive=True
+    )
 
 
 def _check_perf(perf: object, path: str) -> None:
@@ -270,6 +304,68 @@ def _check_serving(serving: object, path: str) -> None:
         _check_fleet_sla(fleet_sla, f"{path}.fleet_sla")
 
 
+def _check_cluster_tier(tier: object, path: str) -> None:
+    if not isinstance(tier, dict):
+        _fail(path, f"expected an object, got {tier!r}")
+    for key in ("replicas", "queries"):
+        value = _get(tier, path, key)
+        if isinstance(value, bool) or not isinstance(value, int) or value < 0:
+            _fail(
+                f"{path}.{key}",
+                f"expected a non-negative integer, got {value!r}",
+            )
+    if tier["replicas"] == 0:
+        _fail(f"{path}.replicas", "expected >= 1 replica")
+    _check_fraction(tier, path, "share")
+    if tier["queries"] > 0:
+        # Latency statistics only exist for tiers that served queries;
+        # an idle overflow tier legitimately carries counts alone.
+        for key in ("p50_ms", "p99_ms", "p999_ms"):
+            _check_number(tier, path, key, minimum=0, exclusive=True)
+        _check_fraction(tier, path, "sla_attainment")
+
+
+def _check_cluster(cluster: object, path: str) -> None:
+    """The v3 routed-cluster block: blended + per-tier serving stats."""
+    if not isinstance(cluster, dict):
+        _fail(path, f"expected an object, got {cluster!r}")
+    _check_str(cluster, path, "model")
+    _check_str_list(cluster, path, "tiers")
+    _check_str(cluster, path, "router")
+    _check_number(cluster, path, "rate_per_s", minimum=0, exclusive=True)
+    _check_number(cluster, path, "utilisation", minimum=0, exclusive=True)
+    _check_number(cluster, path, "duration_s", minimum=0, exclusive=True)
+    _check_number(cluster, path, "slo_ms", minimum=0, exclusive=True)
+    result = _get(cluster, path, "result")
+    if not isinstance(result, dict):
+        _fail(f"{path}.result", f"expected an object, got {result!r}")
+    rpath = f"{path}.result"
+    _check_str(result, rpath, "router")
+    queries = _get(result, rpath, "queries")
+    if isinstance(queries, bool) or not isinstance(queries, int) or queries <= 0:
+        _fail(
+            f"{rpath}.queries",
+            f"expected a positive integer, got {queries!r}",
+        )
+    blended = _get(result, rpath, "blended")
+    if not isinstance(blended, dict):
+        _fail(f"{rpath}.blended", f"expected an object, got {blended!r}")
+    for key in CLUSTER_BLENDED_POSITIVE_FIELDS:
+        _check_number(
+            blended, f"{rpath}.blended", key, minimum=0, exclusive=True
+        )
+    _check_fraction(blended, f"{rpath}.blended", "sla_attainment")
+    tiers = _get(result, rpath, "tiers")
+    if not isinstance(tiers, dict) or not tiers:
+        _fail(f"{rpath}.tiers", f"expected a non-empty object, got {tiers!r}")
+    for name, tier in tiers.items():
+        if not isinstance(name, str) or not name:
+            _fail(f"{rpath}.tiers", f"tier keys must be strings, got {name!r}")
+        _check_cluster_tier(tier, f"{rpath}.tiers.{name}")
+    _check_number(result, rpath, "usd_per_hour", minimum=0, exclusive=True)
+    _check_number(result, rpath, "usd_per_million_queries", minimum=0)
+
+
 def _check_result(result: object, path: str) -> None:
     if not isinstance(result, dict):
         _fail(path, f"expected an object, got {result!r}")
@@ -328,6 +424,11 @@ def validate_payload(payload: object) -> dict:
     _check_str(payload, "$", "name")
     _check_config(_get(payload, "$", "config"), "$.config")
     _check_number(payload, "$", "wall_clock_s", minimum=0)
+    cluster = _get(payload, "$", "cluster")
+    if cluster is not None:
+        # null means the sweep ran with cluster_backends=() — the block
+        # is opt-out-able, its presence (the key) is not.
+        _check_cluster(cluster, "$.cluster")
     results = _get(payload, "$", "results")
     if not isinstance(results, list) or not results:
         _fail("$.results", f"expected a non-empty list, got {results!r}")

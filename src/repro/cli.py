@@ -7,15 +7,18 @@ Usage::
     repro infer MODEL [options]            # deploy a backend, run inference
     repro fleet MODEL QPS [options]        # size fleets for a target load
     repro serve MODEL [options]            # latency-under-load serving lab
+    repro cluster MODEL [options]          # routed heterogeneous cluster
     repro bench [options]                  # backend x model x batch sweep
     repro info                             # library / model overview
 
 (Also runnable as ``python -m repro``.)  ``MODEL`` is a registered model
-name (``small``, ``large``, ``dlrm-rmc2``); ``--backend`` selects a
-registered inference backend (``fpga``, ``fpga-compressed``, ``cpu``,
-``gpu``, ``nmp``).  ``--json`` on ``plan``/``infer``/``fleet``/``serve``/``bench``/
-``info`` emits machine-readable output for scripting: with ``--json``,
-stdout carries *only* the JSON document (progress goes to stderr), so the
+name; ``--backend`` selects a registered inference backend and
+``--router`` (on ``cluster``) a registered routing policy — the
+``--help`` epilog lists both registries live, so third-party plugins
+show up automatically.  ``--json`` on
+``plan``/``infer``/``fleet``/``serve``/``cluster``/``bench``/``info``
+emits machine-readable output for scripting: with ``--json``, stdout
+carries *only* the JSON document (progress goes to stderr), so the
 output pipes straight into ``python -m json.tool``.
 """
 
@@ -344,6 +347,166 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_tier(text: str, default_model: str):
+    """Parse one ``--tier BACKEND[:COUNT[:MODEL]]`` specification."""
+    from repro.cluster import ReplicaSpec
+
+    parts = text.split(":")
+    if len(parts) > 3 or not parts[0]:
+        raise ValueError(
+            f"bad --tier {text!r}; expected BACKEND[:COUNT[:MODEL]]"
+        )
+    try:
+        count = int(parts[1]) if len(parts) > 1 and parts[1] else 1
+    except ValueError:
+        raise ValueError(
+            f"bad --tier {text!r}; COUNT must be an integer"
+        ) from None
+    model = parts[2] if len(parts) > 2 and parts[2] else default_model
+    return ReplicaSpec(model=model, backend=parts[0], count=count)
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.cluster import Cluster, UnknownRoutingPolicyError, deploy_cluster
+    from repro.runtime import UnknownBackendError
+    from repro.serving.arrivals import ARRIVAL_PROCESSES, arrivals_for
+    from repro.serving.lab import lab_seed
+
+    if (rc := _check_model(args.model)) is not None:
+        return rc
+    if args.process not in ARRIVAL_PROCESSES:
+        return _fail(
+            f"unknown arrival process {args.process!r}; "
+            f"available: {list(ARRIVAL_PROCESSES)}"
+        )
+    tier_texts = args.tier or ["fpga", "gpu", "cpu"]
+    try:
+        specs = [_parse_tier(text, args.model) for text in tier_texts]
+    except ValueError as exc:
+        return _fail(str(exc))
+    for spec in specs:
+        if (rc := _check_model(spec.model)) is not None:
+            return rc
+    try:
+        cluster = deploy_cluster(
+            specs,
+            router=args.router,
+            slo_ms=args.slo_ms,
+            max_rows=args.max_rows,
+            seed=args.seed,
+        )
+    except (UnknownRoutingPolicyError, UnknownBackendError, ValueError) as exc:
+        return _fail(str(exc))
+    capacity = cluster.perf().throughput_items_per_s
+    rate = args.rate if args.rate is not None else args.utilisation * capacity
+    if rate <= 0:
+        return _fail(f"offered rate must be positive, got {rate}")
+    rng = np.random.default_rng(
+        lab_seed(args.seed, cluster.backend, args.process, "cli")
+    )
+    try:
+        arrivals = arrivals_for(args.process, rng, rate, args.duration_s)
+        result = cluster.serve(arrivals)
+        fleet = cluster.fleet(args.qps, headroom=args.headroom)
+    except ValueError as exc:
+        # Bad knobs (negative duration, headroom out of (0, 1], ...)
+        # exit 2 with the library's one-line message, never a traceback.
+        return _fail(str(exc))
+
+    # The routed story needs its null hypothesis: the same traffic on a
+    # homogeneous fleet of each tier at the same total node count,
+    # reusing the already-built sessions (replica slots share engines).
+    # Tiers are keyed per distinct build — two same-backend tiers with
+    # different models/row-caps each get their own comparison row,
+    # disambiguated by model label.
+    singles: dict[str, object] = {}
+    nodes = len(cluster)
+    tier_builds: dict[int, tuple] = {}
+    for session, label in zip(cluster.replicas, cluster.model_labels):
+        tier_builds.setdefault(id(session), (session, label))
+    backend_tally: dict[str, int] = {}
+    for session, _label in tier_builds.values():
+        backend_tally[session.backend] = (
+            backend_tally.get(session.backend, 0) + 1
+        )
+    for session, label in tier_builds.values():
+        key = (
+            session.backend
+            if backend_tally[session.backend] == 1
+            else f"{session.backend}:{label}"
+        )
+        while key in singles:  # same backend *and* label: count them off
+            key += "'"
+        homo = Cluster(
+            [session] * nodes, "round-robin", slo_ms=args.slo_ms
+        )
+        homo_result = homo.serve(arrivals)
+        singles[key] = {
+            "nodes": nodes,
+            "usd_per_hour": homo.usd_per_hour,
+            "p50_ms": homo_result.p50_ms,
+            "p99_ms": homo_result.p99_ms,
+            "sla_attainment": homo_result.sla_attainment(args.slo_ms),
+        }
+    payload = {
+        "model": args.model,
+        "tiers": list(tier_texts),
+        "router": args.router,
+        "slo_ms": args.slo_ms,
+        "process": args.process,
+        "duration_s": args.duration_s,
+        "seed": args.seed,
+        "rate_per_s": rate,
+        "capacity_per_s": capacity,
+        "cluster": cluster.summary(),
+        "result": result.as_dict(args.slo_ms),
+        "fleet": fleet.as_dict(),
+        "singles": singles,
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(
+        f"cluster {cluster.backend}: router {args.router}, "
+        f"{len(cluster)} replicas, capacity {capacity:,.0f}/s"
+    )
+    print(
+        f"  {args.process} @ {rate:,.0f}/s for {args.duration_s:g}s "
+        f"({result.count:,} queries, p99 SLO {args.slo_ms:g} ms)"
+    )
+    blended = payload["result"]["blended"]
+    print(
+        f"  blended: p50 {blended['p50_ms']:8.3f}  "
+        f"p99 {blended['p99_ms']:8.3f}  p99.9 {blended['p999_ms']:8.3f} ms  "
+        f"SLA {blended['sla_attainment']:6.1%}  "
+        f"${result.usd_per_million_queries:.4f}/1M"
+    )
+    for name, tier in payload["result"]["tiers"].items():
+        if tier["queries"]:
+            detail = (
+                f"p99 {tier['p99_ms']:8.3f} ms  "
+                f"SLA {tier['sla_attainment']:6.1%}"
+            )
+        else:
+            detail = "idle"
+        print(
+            f"  {name:>16}: {tier['queries']:>8,} queries "
+            f"({tier['share']:6.1%})  {detail}"
+        )
+    print(f"  fleet @ {args.qps:,.0f} qps: {fleet.nodes} cluster(s), "
+          f"${fleet.usd_per_hour:,.2f}/h")
+    print(f"  same traffic, homogeneous {nodes}-node fleets:")
+    for name, single in singles.items():
+        print(
+            f"  {name:>16} x{nodes}: p99 {single['p99_ms']:10.3f} ms  "
+            f"SLA {single['sla_attainment']:6.1%}  "
+            f"${single['usd_per_hour']:7.2f}/h"
+        )
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import (
         BenchConfig,
@@ -362,6 +525,20 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         overrides["models"] = tuple(args.model)
     if args.backend:
         overrides["backends"] = tuple(args.backend)
+    if args.no_cluster and args.cluster_backend:
+        return _fail("--no-cluster and --cluster-backend are mutually "
+                     "exclusive")
+    if args.no_cluster:
+        overrides["cluster_backends"] = ()
+    elif args.cluster_backend:
+        overrides["cluster_backends"] = tuple(args.cluster_backend)
+    elif args.backend:
+        # A restricted sweep should not silently build engines outside
+        # it: the cluster block follows the --backend filter unless the
+        # tiers are chosen explicitly.
+        overrides["cluster_backends"] = tuple(args.backend)
+    if args.cluster_router:
+        overrides["cluster_router"] = args.cluster_router
     if args.batch:
         overrides["batches"] = tuple(args.batch)
     if args.max_rows is not None:
@@ -452,6 +629,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 def _cmd_info(args: argparse.Namespace) -> int:
     import repro
+    from repro.cluster import available_policies
     from repro.experiments.harness import EXPERIMENTS
     from repro.models.spec import MODEL_FACTORIES
     from repro.runtime import available_backends
@@ -470,6 +648,7 @@ def _cmd_info(args: argparse.Namespace) -> int:
                 {
                     "version": repro.__version__,
                     "backends": list(available_backends()),
+                    "routing_policies": list(available_policies()),
                     "models": models,
                     "experiments": list(EXPERIMENTS),
                 },
@@ -479,6 +658,7 @@ def _cmd_info(args: argparse.Namespace) -> int:
         return 0
     print(f"repro {repro.__version__} — MicroRec (MLSys'21) reproduction")
     print(f"\nbackends: {', '.join(available_backends())}")
+    print(f"routing policies: {', '.join(available_policies())}")
     print("\nproduction models (+ benchmark family):")
     for name, factory in MODEL_FACTORIES.items():
         m = factory()
@@ -490,10 +670,42 @@ def _cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _registry_epilog() -> str:
+    """Live registry listing for ``--help`` epilogs.
+
+    Built from the registries at parser-construction time rather than
+    hard-coded strings, so backends or routing policies registered by
+    plugins (or future PRs) appear in the help text automatically.
+    """
+    from repro.cluster import available_policies
+    from repro.models.spec import MODEL_FACTORIES
+    from repro.runtime import available_backends
+
+    return (
+        f"registered models: {' | '.join(MODEL_FACTORIES)}\n"
+        f"registered backends: {' | '.join(available_backends())}\n"
+        f"registered routing policies: {' | '.join(available_policies())}"
+    )
+
+
+def _model_help() -> str:
+    from repro.models.spec import MODEL_FACTORIES
+
+    return " | ".join(MODEL_FACTORIES)
+
+
+def _process_help(prefix: str) -> str:
+    from repro.serving.arrivals import ARRIVAL_PROCESSES
+
+    return f"{prefix} ({' | '.join(ARRIVAL_PROCESSES)})"
+
+
 def _add_backend_flag(parser: argparse.ArgumentParser, **kwargs) -> None:
+    from repro.runtime import available_backends
+
     parser.add_argument(
         "--backend",
-        help="inference backend (fpga | fpga-compressed | cpu | gpu | nmp)",
+        help=f"inference backend ({' | '.join(available_backends())})",
         **kwargs,
     )
 
@@ -519,7 +731,10 @@ def _add_planner_flags(parser: argparse.ArgumentParser) -> None:
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
-        prog="repro", description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+        prog="repro",
+        description=__doc__,
+        epilog=_registry_epilog(),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -528,7 +743,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.set_defaults(func=_cmd_experiments)
 
     p_plan = sub.add_parser("plan", help="run Algorithm 1 on a model")
-    p_plan.add_argument("model", help="small | large | dlrm-rmc2")
+    p_plan.add_argument("model", help=_model_help())
     _add_backend_flag(p_plan, default="fpga")
     _add_planner_flags(p_plan)
     p_plan.add_argument(
@@ -545,7 +760,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_infer = sub.add_parser(
         "infer", help="deploy a backend and run real inference"
     )
-    p_infer.add_argument("model", help="small | large | dlrm-rmc2")
+    p_infer.add_argument("model", help=_model_help())
     _add_backend_flag(p_infer, default="fpga")
     p_infer.add_argument(
         "--precision", default=None,
@@ -563,7 +778,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_infer.set_defaults(func=_cmd_infer)
 
     p_fleet = sub.add_parser("fleet", help="size engine fleets for a load")
-    p_fleet.add_argument("model", help="small | large | dlrm-rmc2")
+    p_fleet.add_argument("model", help=_model_help())
     p_fleet.add_argument("qps", type=float, help="target queries per second")
     _add_backend_flag(p_fleet, action="append", default=None)
     p_fleet.add_argument(
@@ -585,12 +800,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="trace-driven serving lab: latency-under-load curves + "
         "SLA-aware fleet sizing",
     )
-    p_serve.add_argument("model", help="small | large | dlrm-rmc2")
+    p_serve.add_argument("model", help=_model_help())
     _add_backend_flag(p_serve, action="append", default=None)
     p_serve.add_argument(
         "--process", action="append", default=None, metavar="NAME",
-        help="arrival process to sweep (poisson | uniform | diurnal | "
-        "bursty | flash; repeatable; default: poisson diurnal bursty)",
+        help=_process_help("arrival process to sweep")
+        + "; repeatable; default: poisson diurnal bursty",
     )
     p_serve.add_argument(
         "--utilisation", action="append", type=float, default=None,
@@ -629,6 +844,60 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--json", action="store_true")
     p_serve.set_defaults(func=_cmd_serve)
 
+    from repro.cluster import available_policies
+
+    p_cluster = sub.add_parser(
+        "cluster",
+        help="deploy a routed heterogeneous cluster and serve traffic "
+        "through it",
+        epilog=_registry_epilog(),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    p_cluster.add_argument("model", help="default model for every tier")
+    p_cluster.add_argument(
+        "--tier", action="append", default=None, metavar="BACKEND[:COUNT[:MODEL]]",
+        help="one replica tier (repeatable; default: fpga gpu cpu, one "
+        "replica each)",
+    )
+    p_cluster.add_argument(
+        "--router", default="sla-aware",
+        help=f"routing policy ({' | '.join(available_policies())})",
+    )
+    p_cluster.add_argument(
+        "--process", default="poisson", metavar="NAME",
+        help=_process_help("arrival process of the served traffic")
+        + "; default poisson",
+    )
+    p_cluster.add_argument(
+        "--utilisation", type=float, default=0.8, metavar="FRAC",
+        help="offered load as a fraction of total cluster capacity "
+        "(default 0.8)",
+    )
+    p_cluster.add_argument(
+        "--rate", type=float, default=None, metavar="QPS",
+        help="absolute offered rate in queries/s (overrides --utilisation)",
+    )
+    p_cluster.add_argument(
+        "--slo-ms", type=float, default=30.0,
+        help="latency SLO the sla-aware router (and reporting) uses",
+    )
+    p_cluster.add_argument(
+        "--duration-s", type=float, default=0.2,
+        help="simulated serving window (default 0.2 s)",
+    )
+    p_cluster.add_argument(
+        "--qps", type=float, default=1_000_000.0,
+        help="fleet-sizing target load (whole clusters as the unit)",
+    )
+    p_cluster.add_argument("--headroom", type=float, default=0.7)
+    p_cluster.add_argument(
+        "--max-rows", type=int, default=None,
+        help="row-cap tables before deployment (applies to every tier)",
+    )
+    p_cluster.add_argument("--seed", type=int, default=0)
+    p_cluster.add_argument("--json", action="store_true")
+    p_cluster.set_defaults(func=_cmd_cluster)
+
     p_bench = sub.add_parser(
         "bench",
         help="sweep backends x models x batches into BENCH_<name>.json",
@@ -648,6 +917,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument(
         "--quick", action="store_true",
         help="CI-sized sweep: small batches, 256-row tables",
+    )
+    p_bench.add_argument(
+        "--cluster-backend", action="append", default=None, metavar="NAME",
+        help="tier of the v3 cluster block (repeatable; default: the "
+        "--backend selection, or fpga gpu cpu when unrestricted)",
+    )
+    p_bench.add_argument(
+        "--cluster-router", default=None,
+        help="routing policy of the cluster block (default sla-aware)",
+    )
+    p_bench.add_argument(
+        "--no-cluster", action="store_true",
+        help='omit the cluster block ("cluster": null in the artifact)',
     )
     p_bench.add_argument(
         "--max-rows", type=int, default=None,

@@ -13,6 +13,7 @@ from repro.experiments import (
     cost,
     figure3,
     figure7,
+    heterogeneous_fleet,
     latency_under_load,
     quantization,
     queuing,
@@ -38,6 +39,7 @@ EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
     "queuing": queuing.run,
     "serving_sla": serving_sla.run,
     "latency_under_load": latency_under_load.run,
+    "heterogeneous_fleet": heterogeneous_fleet.run,
     "quantization": quantization.run,
     "related_work": related_work.run,
     "compression": compression.run,

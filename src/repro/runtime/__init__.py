@@ -52,6 +52,7 @@ from repro.runtime.session import (
     FpgaSession,
     GpuSession,
     NmpSession,
+    ServingSurface,
     Session,
 )
 
@@ -63,6 +64,7 @@ __all__ = [
     "get_backend",
     "register_backend",
     "PerfEstimate",
+    "ServingSurface",
     "Session",
     "FpgaSession",
     "CpuSession",

@@ -43,7 +43,8 @@ def deploy_model(
 
     Examples
     --------
-    >>> session = deploy_model("small", backend="fpga", max_rows=4096)
+    >>> from repro.models.workload import QueryGenerator
+    >>> session = deploy_model("small", backend="fpga", max_rows=512)
     >>> session.infer(QueryGenerator(session.model, seed=0).batch(8)).shape
     (8,)
     """

@@ -10,6 +10,13 @@ session answers the same four questions:
   stream, routed to the pipelined or batched server model as appropriate;
 * ``fleet(target_qps)`` — how many nodes of this engine a load needs.
 
+The serving side of that surface (``serve`` / ``serve_trace`` / ``sweep``
+/ ``fleet`` / ``fleet_sla``) lives in the :class:`ServingSurface` mixin,
+shared verbatim with :class:`~repro.cluster.Cluster` — the serving lab,
+the bench runner, and the CLI target the mixin's protocol and therefore
+drive one-replica sessions and routed heterogeneous clusters with the
+same code.
+
 Concrete sessions (:class:`FpgaSession`, :class:`CpuSession`,
 :class:`GpuSession`, :class:`NmpSession`) expose their underlying engine
 via ``.engine`` for backend-specific detail (plans, resource reports, cost
@@ -47,58 +54,38 @@ if TYPE_CHECKING:  # lazy at runtime: lab/capacity build on sessions
     from repro.serving.lab import LoadCurve
 
 
-class Session(ABC):
-    """A deployed inference engine with a backend-agnostic surface."""
+class ServingSurface:
+    """The serving protocol shared by :class:`Session` and ``Cluster``.
 
-    def __init__(
-        self,
-        backend: str,
-        model: ModelSpec,
-        precision: str,
-        usd_per_hour: float,
-    ):
-        self.backend = backend
-        self.model = model
-        self.precision = precision
-        self.usd_per_hour = usd_per_hour
-        self._perf_cache: PerfEstimate | None = None
+    Anything that can state its sustained performance (:meth:`perf`) and
+    turn an arrival stream into a latency distribution (:meth:`_serve`)
+    gets the whole serving toolbox for free: trace replay, load sweeps,
+    throughput-only and SLA-aware fleet sizing.  One-engine sessions and
+    routed multi-replica clusters are therefore interchangeable wherever
+    a deployment is served — the serving lab, ``plan_fleet_sla``, the
+    bench runner, and the CLI all target this mixin, not a concrete
+    class.
 
-    # -- inference ----------------------------------------------------------
+    Implementors provide ``backend`` (a stable display/registry name),
+    :meth:`perf`, and :meth:`_serve`.
+    """
 
-    @abstractmethod
-    def infer(self, batch: QueryBatch) -> np.ndarray:
-        """Predicted CTR per query, shape ``(batch,)``."""
-
-    @abstractmethod
-    def reference(self) -> CpuBaselineEngine:
-        """fp32 CPU reference over the same tables and MLP weights."""
-
-    # -- performance --------------------------------------------------------
-
-    @abstractmethod
-    def _estimate_perf(self) -> PerfEstimate:
-        """Build this backend's normalised performance estimate."""
+    backend: str
 
     def perf(self) -> PerfEstimate:
-        """Normalised performance estimate for one node (cached)."""
-        if self._perf_cache is None:
-            self._perf_cache = self._estimate_perf()
-        return self._perf_cache
+        """Normalised sustained performance of one deployed unit."""
+        raise NotImplementedError
 
-    @abstractmethod
-    def batch_latency_ms(self, batch_size: int) -> float:
-        """End-to-end latency of one batch on this engine."""
-
-    # -- serving ------------------------------------------------------------
-
-    @abstractmethod
-    def server(self, **knobs: object) -> BatchedServerSim | PipelineServerSim:
-        """The queueing simulator modelling this engine under load."""
+    def _serve(
+        self, arrivals_ns: np.ndarray, **server_knobs: object
+    ) -> ServingResult:
+        """Serve a validated, non-empty arrival stream."""
+        raise NotImplementedError
 
     def serve(
         self, arrivals_ns: np.ndarray, **server_knobs: object
     ) -> ServingResult:
-        """Simulate this engine serving a stream of arrival timestamps.
+        """Simulate this deployment serving a stream of arrival timestamps.
 
         ``arrivals_ns`` comes from the generators in
         :mod:`repro.serving.arrivals` (steady :func:`poisson_arrivals` /
@@ -108,7 +95,7 @@ class Session(ABC):
         NaN latency statistics.  For rate sweeps use :meth:`sweep`, for
         trace replay :meth:`serve_trace`; the serving lab
         (:mod:`repro.serving.lab`) builds latency-under-load curves from
-        this method across all backends.
+        this method across all backends and clusters.
         """
         arrivals = np.asarray(arrivals_ns, dtype=np.float64)
         if arrivals.size == 0:
@@ -116,7 +103,7 @@ class Session(ABC):
                 f"{self.backend}: cannot serve an empty arrival stream "
                 "(raise the rate or the duration)"
             )
-        return self.server(**server_knobs).run(arrivals)
+        return self._serve(arrivals, **server_knobs)
 
     def serve_trace(
         self,
@@ -170,6 +157,60 @@ class Session(ABC):
         from repro.deploy.capacity import plan_fleet_sla
 
         return plan_fleet_sla(target_qps, self, slo_ms=slo_ms, **plan_knobs)
+
+
+class Session(ServingSurface, ABC):
+    """A deployed inference engine with a backend-agnostic surface."""
+
+    def __init__(
+        self,
+        backend: str,
+        model: ModelSpec,
+        precision: str,
+        usd_per_hour: float,
+    ):
+        self.backend = backend
+        self.model = model
+        self.precision = precision
+        self.usd_per_hour = usd_per_hour
+        self._perf_cache: PerfEstimate | None = None
+
+    # -- inference ----------------------------------------------------------
+
+    @abstractmethod
+    def infer(self, batch: QueryBatch) -> np.ndarray:
+        """Predicted CTR per query, shape ``(batch,)``."""
+
+    @abstractmethod
+    def reference(self) -> CpuBaselineEngine:
+        """fp32 CPU reference over the same tables and MLP weights."""
+
+    # -- performance --------------------------------------------------------
+
+    @abstractmethod
+    def _estimate_perf(self) -> PerfEstimate:
+        """Build this backend's normalised performance estimate."""
+
+    def perf(self) -> PerfEstimate:
+        """Normalised performance estimate for one node (cached)."""
+        if self._perf_cache is None:
+            self._perf_cache = self._estimate_perf()
+        return self._perf_cache
+
+    @abstractmethod
+    def batch_latency_ms(self, batch_size: int) -> float:
+        """End-to-end latency of one batch on this engine."""
+
+    # -- serving ------------------------------------------------------------
+
+    @abstractmethod
+    def server(self, **knobs: object) -> BatchedServerSim | PipelineServerSim:
+        """The queueing simulator modelling this engine under load."""
+
+    def _serve(
+        self, arrivals_ns: np.ndarray, **server_knobs: object
+    ) -> ServingResult:
+        return self.server(**server_knobs).run(arrivals_ns)
 
     # -- reporting ----------------------------------------------------------
 

@@ -55,6 +55,20 @@ class TestConfig:
         with pytest.raises(ValueError):
             BenchConfig(name="../escape")
 
+    def test_cluster_knob_validation(self):
+        with pytest.raises(ValueError, match="duplicate cluster_backends"):
+            BenchConfig(cluster_backends=("fpga", "fpga"))
+        with pytest.raises(ValueError, match="cluster_utilisation"):
+            BenchConfig(cluster_utilisation=0.0)
+        with pytest.raises(ValueError, match="unknown cluster_router"):
+            run_bench(
+                BenchConfig.quick_config(cluster_router="teleporting")
+            )
+        with pytest.raises(ValueError, match="unknown backend"):
+            run_bench(
+                BenchConfig.quick_config(cluster_backends=("tpu",))
+            )
+
     def test_serving_knob_validation(self):
         with pytest.raises(ValueError):
             BenchConfig(slo_ms=0.0)
@@ -127,6 +141,30 @@ class TestRunBench:
                 serving["fleet_sla"]["nodes"]
                 >= serving["fleet_sla"]["throughput_only_nodes"]
             )
+
+    def test_cluster_block_present_and_consistent(self, payload, config):
+        cluster = payload["cluster"]
+        assert cluster is not None
+        assert cluster["tiers"] == list(config.cluster_backends)
+        assert cluster["router"] == config.cluster_router
+        result = cluster["result"]
+        assert result["queries"] > 0
+        assert sum(t["queries"] for t in result["tiers"].values()) == (
+            result["queries"]
+        )
+        assert 0.0 <= result["blended"]["sla_attainment"] <= 1.0
+        assert payload["config"]["cluster_backends"] == list(
+            config.cluster_backends
+        )
+
+    def test_cluster_block_can_be_disabled(self, config):
+        quiet = BenchConfig.quick_config(
+            backends=("cpu",), batches=(1,), max_rows=128,
+            cluster_backends=(), name="noclust",
+        )
+        payload = run_bench(quiet)
+        assert payload["cluster"] is None
+        assert validate_payload(payload) is payload
 
     def test_pipelined_engines_hold_sla_capacity(self, payload):
         # The paper's claim in artifact form: under Poisson load at the
@@ -226,6 +264,40 @@ class TestValidator:
         ok["results"][0]["serving"]["fleet_sla"] = None
         assert validate_payload(ok) is ok
 
+    def test_rejects_missing_cluster_key(self, payload):
+        bad = copy.deepcopy(payload)
+        del bad["cluster"]
+        with pytest.raises(BenchSchemaError, match="cluster"):
+            validate_payload(bad)
+
+    def test_null_cluster_allowed(self, payload):
+        ok = copy.deepcopy(payload)
+        ok["cluster"] = None
+        assert validate_payload(ok) is ok
+
+    def test_rejects_bad_cluster_block(self, payload):
+        bad = copy.deepcopy(payload)
+        bad["cluster"]["result"]["blended"]["p99_ms"] = 0
+        with pytest.raises(BenchSchemaError, match=r"blended.p99_ms"):
+            validate_payload(bad)
+        bad = copy.deepcopy(payload)
+        bad["cluster"]["result"]["tiers"] = {}
+        with pytest.raises(BenchSchemaError, match="tiers"):
+            validate_payload(bad)
+        bad = copy.deepcopy(payload)
+        tier = next(iter(bad["cluster"]["result"]["tiers"].values()))
+        tier["share"] = 1.7
+        with pytest.raises(BenchSchemaError, match="share"):
+            validate_payload(bad)
+
+    def test_rejects_missing_cluster_config_knobs(self, payload):
+        for knob in ("cluster_backends", "cluster_router",
+                     "cluster_utilisation"):
+            bad = copy.deepcopy(payload)
+            del bad["config"][knob]
+            with pytest.raises(BenchSchemaError, match=knob):
+                validate_payload(bad)
+
     def test_rejects_missing_serving_config_knobs(self, payload):
         for knob in ("slo_ms", "serve_duration_s", "serve_processes",
                      "serve_utilisations"):
@@ -317,6 +389,36 @@ class TestCompare:
             for line in regressions(compare_payloads(worse, payload))
         )
 
+    def test_cluster_metrics_compared(self, payload):
+        comparison = compare_payloads(payload, payload)
+        assert set(comparison["cluster"]) == {
+            "p99_ms", "sla_attainment", "usd_per_million_queries",
+        }
+        for record in comparison["cluster"].values():
+            assert record["delta_pct"] == 0.0
+
+    def test_cluster_p99_growth_is_a_regression(self, payload):
+        worse = copy.deepcopy(payload)
+        worse["cluster"]["result"]["blended"]["p99_ms"] *= 2.0
+        lines = regressions(compare_payloads(payload, worse))
+        assert any(
+            "cluster/routed: p99_ms rose 100.0%" in line for line in lines
+        )
+        # Attainment falling is the other direction.
+        worse = copy.deepcopy(payload)
+        worse["cluster"]["result"]["blended"]["sla_attainment"] *= 0.5
+        lines = regressions(compare_payloads(payload, worse))
+        assert any("sla_attainment fell 50.0%" in line for line in lines)
+
+    def test_missing_cluster_blocks_compare_gracefully(self, payload):
+        without = copy.deepcopy(payload)
+        without["cluster"] = None
+        comparison = compare_payloads(payload, without)
+        assert comparison["cluster"] is None
+        assert not any(
+            "cluster/routed" in line for line in regressions(comparison)
+        )
+
     def test_results_without_serving_yield_no_serving_metrics(self, payload):
         # The metric flattener (not the validator) is what keeps the
         # comparison graceful for results lacking a serving block.
@@ -397,6 +499,42 @@ class TestCliBench:
              "--output", str(tmp_path / "x.json")]
         ) == 2
         assert "--compare" in capsys.readouterr().err
+
+    def test_backend_filter_applies_to_cluster_block(self, capsys, tmp_path):
+        # Restricting the sweep must not silently build other engines
+        # for the cluster block: the block follows --backend unless the
+        # tiers are chosen explicitly.
+        assert main(
+            ["bench", "--quick", "--backend", "cpu", "--batch", "1",
+             "--max-rows", "128", "--json",
+             "--output", str(tmp_path / "c1.json")]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["cluster"]["tiers"] == ["cpu"]
+        assert main(
+            ["bench", "--quick", "--backend", "cpu", "--batch", "1",
+             "--max-rows", "128", "--cluster-backend", "cpu",
+             "--cluster-backend", "fpga", "--cluster-router",
+             "least-loaded", "--json",
+             "--output", str(tmp_path / "c2.json")]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["cluster"]["tiers"] == ["cpu", "fpga"]
+        assert payload["cluster"]["router"] == "least-loaded"
+
+    def test_no_cluster_flag(self, capsys, tmp_path):
+        assert main(
+            ["bench", "--quick", "--backend", "cpu", "--batch", "1",
+             "--max-rows", "128", "--no-cluster", "--json",
+             "--output", str(tmp_path / "nc.json")]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["cluster"] is None
+        assert validate_payload(payload) is payload
+        assert main(
+            ["bench", "--quick", "--no-cluster", "--cluster-backend",
+             "cpu", "--output", str(tmp_path / "x.json")]
+        ) == 2
 
     def test_duplicate_backend_rejected_up_front(self, tmp_path):
         assert main(

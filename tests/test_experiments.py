@@ -29,6 +29,7 @@ class TestHarness:
             "queuing",
             "serving_sla",
             "latency_under_load",
+            "heterogeneous_fleet",
             "quantization",
             "related_work",
             "compression",

@@ -64,6 +64,43 @@ class TestRegistry:
         # Explicit replacement is allowed (and restores the original).
         assert register_backend(fpga, replace=True) is fpga
 
+    def test_register_replace_swaps_and_is_required(self):
+        from repro.runtime.backend import _REGISTRY
+
+        class Stub:
+            name = "stub-backend-test"
+
+            def build(self, model, **knobs):
+                raise NotImplementedError
+
+        first, second = Stub(), Stub()
+        assert register_backend(first) is first
+        try:
+            assert get_backend("stub-backend-test") is first
+            # Re-registering the name without replace=True must raise and
+            # leave the original registration untouched.
+            with pytest.raises(ValueError, match="replace=True"):
+                register_backend(second)
+            assert get_backend("stub-backend-test") is first
+            # With replace=True the new backend takes over.
+            assert register_backend(second, replace=True) is second
+            assert get_backend("stub-backend-test") is second
+        finally:
+            del _REGISTRY["stub-backend-test"]
+        # Once unregistered, lookups fail with the full name list again.
+        with pytest.raises(UnknownBackendError) as err:
+            get_backend("stub-backend-test")
+        assert "registered backends" in str(err.value)
+
+    def test_unknown_backend_error_names_every_backend(self):
+        with pytest.raises(UnknownBackendError) as err:
+            get_backend("abacus")
+        message = str(err.value)
+        assert message.startswith("unknown backend 'abacus'")
+        for name in available_backends():
+            assert name in message
+        assert isinstance(err.value, LookupError)
+
 
 class TestBitForBit:
     """deploy_model must match the hand-wired engine paths exactly at fp32."""
@@ -285,3 +322,25 @@ class TestCliRuntime:
 
     def test_deploy_model_reexported(self):
         assert repro.deploy_model is deploy_model
+
+
+class TestDocstrings:
+    """The API docstring examples must actually run (and keep running)."""
+
+    def test_deploy_model_doctest(self):
+        import doctest
+
+        import repro.runtime.api as api
+
+        result = doctest.testmod(api)
+        assert result.attempted > 0  # the example exists ...
+        assert result.failed == 0  # ... and runs clean
+
+    def test_deploy_cluster_doctest(self):
+        import doctest
+
+        import repro.cluster.api as api
+
+        result = doctest.testmod(api)
+        assert result.attempted > 0
+        assert result.failed == 0
