@@ -1,0 +1,101 @@
+"""Autoscaling control plane: an elastic fleet riding a diurnal trace.
+
+Every serving layer so far replays traffic against a *fixed* fleet — but
+production load is not fixed: it swings day/night, bursts, and spikes.
+`repro.autoscale` closes the loop from measured latency back into fleet
+size: a scaler policy watches each control window's telemetry and
+resizes the fleet, under provisioning delay and fleet-size bounds,
+trading $/hour against the tail-latency SLO:
+
+  simulate_autoscale(surface, trace, policy, slo_ms=...) -> AutoscaleResult
+
+Any `ServingSurface` works — a single-engine `Session` here, a routed
+`Cluster` just the same (the fleet then scales whole clusters).
+
+Run:  python examples/autoscaling.py
+"""
+
+from __future__ import annotations
+
+import repro
+from repro.autoscale import compare_policies, simulate_autoscale
+from repro.serving import diurnal_trace, flash_crowd_trace
+
+MAX_ROWS = 1024
+SLO_MS = 30.0
+WINDOWS = 16
+
+
+def sparkline(counts: list[int]) -> str:
+    blocks = " .:-=+*#%@"
+    top = max(counts)
+    return "".join(
+        blocks[min(len(blocks) - 1, int(c / top * (len(blocks) - 1)))]
+        for c in counts
+    )
+
+
+def main() -> None:
+    # The batched GPU tier: cheap per query at scale, but its tail is
+    # SLO-bound — exactly the engine whose fleet size the SLO dictates.
+    session = repro.deploy_model("small", backend="gpu", max_rows=MAX_ROWS)
+    per_node = session.perf().throughput_items_per_s
+    print(f"{session.backend}: {per_node:,.0f} queries/s per node, "
+          f"${session.usd_per_hour:.2f}/h per node\n")
+
+    # A day of traffic compressed into the simulated horizon: mean load
+    # worth 8 nodes, peak 1.6x at "noon", trough 0.4x at "4 a.m.".
+    day = diurnal_trace(8.0 * per_node, WINDOWS * 0.05, amplitude=0.6)
+    print(f"diurnal trace: mean {day.mean_rate:,.0f}/s, "
+          f"peak {day.peak_rate:,.0f}/s, p99 SLO {SLO_MS:.0f} ms")
+
+    # -- every scaler policy vs the peak-sized static fleet ----------------
+    # compare_policies computes the peak-sized baseline once and shares
+    # it across all runs.
+    results = compare_policies(session, day, slo_ms=SLO_MS, windows=WINDOWS)
+    static = next(iter(results.values())).static
+    for policy, result in results.items():
+        nodes = [w.nodes for w in result.windows]
+        savings = (
+            f"saves {result.usd_savings_vs_static:+5.1%}"
+            if result.usd_savings_vs_static is not None
+            else "no static baseline"
+        )
+        print(f"  {policy:>22}: [{sparkline(nodes)}] "
+              f"mean {result.mean_nodes:5.2f} nodes  "
+              f"SLA {result.sla_attainment:6.1%}  "
+              f"${result.usd_per_hour:6.2f}/h  {savings}")
+    if static is not None:
+        print(f"  {'static-peak fleet':>22}: x{static.nodes} always on  "
+              f"SLA {static.sla_attainment:6.1%}  "
+              f"${static.usd_per_hour:6.2f}/h  "
+              f"(sized by plan_fleet_sla for the peak)")
+
+    # -- a flash crowd punishes slow reactions -----------------------------
+    crowd = flash_crowd_trace(4.0 * per_node, WINDOWS * 0.05)
+    print(f"\nflash crowd ({crowd.peak_rate / crowd.mean_rate:.1f}x mean "
+          "at the spike):")
+    for policy in ("reactive-utilisation", "predictive-trace"):
+        result = simulate_autoscale(
+            session, crowd, policy=policy, slo_ms=SLO_MS,
+            windows=WINDOWS, compare_static=False,
+        )
+        nodes = [w.nodes for w in result.windows]
+        print(f"  {policy:>22}: [{sparkline(nodes)}] "
+              f"SLA {result.sla_attainment:6.1%}  "
+              f"worst p99 {result.worst_tail_ms:7.2f} ms")
+
+    # -- the timeline is plain data ----------------------------------------
+    result = simulate_autoscale(
+        session, day, policy="predictive-trace", slo_ms=SLO_MS,
+        windows=WINDOWS, compare_static=False,
+    )
+    w = result.windows[WINDOWS // 2]
+    print(f"\nwindow {w.index} @ t={w.t_s:.2f}s: "
+          f"{w.offered_rate_per_s:,.0f}/s offered, {w.nodes} nodes "
+          f"(u={w.utilisation:.2f}), p99 {w.p99_ms:.2f} ms, "
+          f"SLA {w.sla_attainment:.1%}")
+
+
+if __name__ == "__main__":
+    main()

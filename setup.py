@@ -16,9 +16,24 @@ def _long_description() -> str:
     return ""
 
 
+def _version() -> str:
+    """The package version, from its single source in the package.
+
+    Exec'd rather than imported so ``setup.py`` works before the package
+    (and its ``numpy`` dependency) is importable.
+    """
+    here = os.path.dirname(os.path.abspath(__file__))
+    namespace: dict[str, str] = {}
+    with open(
+        os.path.join(here, "src", "repro", "_version.py"), encoding="utf-8"
+    ) as fh:
+        exec(fh.read(), namespace)
+    return namespace["__version__"]
+
+
 setup(
     name="microrec-repro",
-    version="1.1.0",
+    version=_version(),
     description=(
         "Reproduction of MicroRec (MLSys 2021): efficient recommendation "
         "inference via Cartesian-product embedding-table merging, hybrid "

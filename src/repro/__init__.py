@@ -111,11 +111,30 @@ from repro.cluster import (
     register_policy,
 )
 
-__version__ = "1.1.0"
+from repro.autoscale import (
+    AutoscaleResult,
+    AutoscaleWindow,
+    ScalerPolicy,
+    UnknownScalerError,
+    available_scalers,
+    get_scaler,
+    register_scaler,
+    simulate_autoscale,
+)
+from repro._version import __version__
 
 __all__ = [
+    "__version__",
     "deploy_model",
     "deploy_cluster",
+    "simulate_autoscale",
+    "AutoscaleResult",
+    "AutoscaleWindow",
+    "ScalerPolicy",
+    "UnknownScalerError",
+    "available_scalers",
+    "get_scaler",
+    "register_scaler",
     "Cluster",
     "ClusterServingResult",
     "ReplicaSpec",

@@ -1,0 +1,8 @@
+"""Single source of the package version.
+
+``setup.py`` execs this file so the distribution metadata, the importable
+``repro.__version__``, and the ``repro --version`` CLI flag can never
+disagree.
+"""
+
+__version__ = "1.2.0"

@@ -40,8 +40,24 @@ CLUSTER_METRICS = {
     "usd_per_million_queries": "higher-is-worse",
 }
 
-#: Every compared metric's regression direction (perf + serving + cluster).
-ALL_METRIC_DIRECTIONS = {**METRICS, **SERVING_METRICS, **CLUSTER_METRICS}
+#: Elastic-fleet metrics (schema v4) compared when both artifacts carry
+#: a non-null ``autoscale`` block: blended fleet size, cost, and the
+#: horizon's SLA attainment.
+AUTOSCALE_METRICS = {
+    "mean_nodes": "higher-is-worse",
+    "usd_per_hour": "higher-is-worse",
+    "usd_per_million_queries": "higher-is-worse",
+    "sla_attainment": "lower-is-worse",
+}
+
+#: Every compared metric's regression direction
+#: (perf + serving + cluster + autoscale).
+ALL_METRIC_DIRECTIONS = {
+    **METRICS,
+    **SERVING_METRICS,
+    **CLUSTER_METRICS,
+    **AUTOSCALE_METRICS,
+}
 
 
 def _serving_metrics(result: dict) -> dict[str, float]:
@@ -88,6 +104,38 @@ def _cluster_metrics(payload: dict) -> dict[str, float] | None:
         "p99_ms": result["blended"]["p99_ms"],
         "sla_attainment": result["blended"]["sla_attainment"],
         "usd_per_million_queries": result["usd_per_million_queries"],
+    }
+
+
+def _autoscale_metrics(payload: dict) -> dict[str, float] | None:
+    """Flatten a payload's autoscale block into comparable scalars."""
+    autoscale = payload.get("autoscale")
+    if not isinstance(autoscale, dict):
+        return None
+    aggregate = autoscale["result"]["aggregate"]
+    return {metric: aggregate[metric] for metric in AUTOSCALE_METRICS}
+
+
+def _block_deltas(
+    old: dict[str, float] | None,
+    new: dict[str, float] | None,
+    metrics: dict[str, str],
+) -> dict[str, object] | None:
+    """Old/new/delta records for one optional top-level block.
+
+    ``None`` when either payload lacks the block — sweeps legitimately
+    disable the cluster/autoscale blocks, and a one-sided block cannot
+    be diffed.
+    """
+    if old is None or new is None:
+        return None
+    return {
+        metric: {
+            "old": old[metric],
+            "new": new[metric],
+            "delta_pct": _delta(old[metric], new[metric]),
+        }
+        for metric in metrics
     }
 
 
@@ -142,22 +190,17 @@ def compare_payloads(old: dict, new: dict) -> dict[str, object]:
         entries.append(
             {"model": key[0], "backend": key[1], "metrics": deltas}
         )
-    old_cluster = _cluster_metrics(old)
-    new_cluster = _cluster_metrics(new)
-    cluster_deltas: dict[str, object] | None = None
-    if old_cluster is not None and new_cluster is not None:
-        cluster_deltas = {
-            metric: {
-                "old": old_cluster[metric],
-                "new": new_cluster[metric],
-                "delta_pct": _delta(old_cluster[metric], new_cluster[metric]),
-            }
-            for metric in CLUSTER_METRICS
-        }
     return {
         "baseline_name": old["name"],
         "entries": entries,
-        "cluster": cluster_deltas,
+        "cluster": _block_deltas(
+            _cluster_metrics(old), _cluster_metrics(new), CLUSTER_METRICS
+        ),
+        "autoscale": _block_deltas(
+            _autoscale_metrics(old),
+            _autoscale_metrics(new),
+            AUTOSCALE_METRICS,
+        ),
         "removed": sorted(
             f"{m}/{b}" for m, b in old_pairs.keys() - new_pairs.keys()
         ),
@@ -173,12 +216,15 @@ def regressions(
     """Human-readable regression lines worse than ``threshold_pct``."""
     lines = []
     entries = list(comparison["entries"])
-    cluster_deltas = comparison.get("cluster")
-    if cluster_deltas:
-        entries.append(
-            {"model": "cluster", "backend": "routed",
-             "metrics": cluster_deltas}
-        )
+    for block, (model, backend) in {
+        "cluster": ("cluster", "routed"),
+        "autoscale": ("autoscale", "elastic"),
+    }.items():
+        deltas = comparison.get(block)
+        if deltas:
+            entries.append(
+                {"model": model, "backend": backend, "metrics": deltas}
+            )
     for entry in entries:
         for metric, record in entry["metrics"].items():
             direction = _direction(metric)

@@ -66,6 +66,13 @@ class BenchConfig:
     #: Offered load of the cluster block as a fraction of the cluster's
     #: summed capacity.
     cluster_utilisation: float = 0.8
+    #: Scaler policy of the v4 autoscale block (an elastic fleet of the
+    #: first swept model/backend driven through a diurnal trace); the
+    #: empty string disables the block (``"autoscale": null``).
+    autoscale_policy: str = "reactive-utilisation"
+    #: Control windows of the autoscale block's horizon (each one
+    #: ``serve_duration_s`` long).
+    autoscale_windows: int = 12
     #: Artifact name: the sweep writes ``BENCH_<name>.json``.
     name: str = "full"
 
@@ -125,6 +132,11 @@ class BenchConfig:
                 f"cluster_utilisation must be positive, got "
                 f"{self.cluster_utilisation}"
             )
+        if self.autoscale_windows <= 0:
+            raise ValueError(
+                f"autoscale_windows must be positive, got "
+                f"{self.autoscale_windows}"
+            )
         if not _NAME_RE.match(self.name):
             raise ValueError(
                 f"name must match {_NAME_RE.pattern}, got {self.name!r}"
@@ -153,6 +165,7 @@ class BenchConfig:
 
 
 def _check_names(config: BenchConfig) -> None:
+    from repro.autoscale import available_scalers
     from repro.cluster import available_policies
 
     unknown_models = [m for m in config.models if m not in MODEL_FACTORIES]
@@ -179,6 +192,14 @@ def _check_names(config: BenchConfig) -> None:
         raise ValueError(
             f"unknown cluster_router {config.cluster_router!r}; "
             f"registered: {sorted(available_policies())}"
+        )
+    if (
+        config.autoscale_policy
+        and config.autoscale_policy not in available_scalers()
+    ):
+        raise ValueError(
+            f"unknown autoscale_policy {config.autoscale_policy!r}; "
+            f"registered: {sorted(available_scalers())}"
         )
 
 
@@ -227,6 +248,53 @@ def _bench_cluster(config: BenchConfig) -> dict[str, object] | None:
         "duration_s": config.serve_duration_s,
         "slo_ms": config.slo_ms,
         "result": result.as_dict(config.slo_ms),
+    }
+
+
+def _bench_autoscale(config: BenchConfig) -> dict[str, object] | None:
+    """The v4 elastic-fleet block: one autoscaled trace replay per sweep.
+
+    The first swept model on the first swept backend, driven through a
+    diurnal trace (base rate: eight nodes' worth of capacity, the range
+    where fleet sizes stay legible) by the configured scaler policy —
+    enough for ``--compare`` to track blended elastic cost and SLA
+    attainment (and the savings against the peak-sized static fleet)
+    across commits.
+    """
+    if not config.autoscale_policy:
+        return None
+    from repro.autoscale import simulate_autoscale
+    from repro.serving.arrivals import diurnal_trace
+
+    model_name = config.models[0]
+    backend = config.resolved_backends()[0]
+    session = deploy_model(
+        model_name,
+        backend=backend,
+        max_rows=config.max_rows,
+        seed=config.seed,
+    )
+    per_node = session.perf().throughput_items_per_s
+    trace = diurnal_trace(
+        8.0 * per_node,
+        config.autoscale_windows * config.serve_duration_s,
+        amplitude=0.6,
+    )
+    result = simulate_autoscale(
+        session,
+        trace,
+        policy=config.autoscale_policy,
+        slo_ms=config.slo_ms,
+        windows=config.autoscale_windows,
+        seed=config.seed,
+    )
+    return {
+        "model": model_name,
+        "backend": backend,
+        "policy": config.autoscale_policy,
+        "windows": config.autoscale_windows,
+        "slo_ms": config.slo_ms,
+        "result": result.as_dict(),
     }
 
 
@@ -319,6 +387,21 @@ def run_bench(
             f"SLA {blended['sla_attainment']:.1%} @ "
             f"{cluster_block['rate_per_s']:,.0f}/s"
         )
+    autoscale_block = _bench_autoscale(config)
+    if autoscale_block is not None:
+        agg = autoscale_block["result"]["aggregate"]
+        savings = agg["usd_savings_vs_static"]
+        emit(
+            f"bench autoscale {autoscale_block['backend']} "
+            f"({autoscale_block['policy']}): "
+            f"mean {agg['mean_nodes']:.1f} nodes, "
+            f"SLA {agg['sla_attainment']:.1%}, "
+            + (
+                f"{savings:+.1%} vs static"
+                if savings is not None
+                else "no static baseline"
+            )
+        )
     payload: dict[str, object] = {
         "suite": SUITE,
         "schema_version": SCHEMA_VERSION,
@@ -338,9 +421,12 @@ def run_bench(
             "cluster_backends": list(config.cluster_backends),
             "cluster_router": config.cluster_router,
             "cluster_utilisation": config.cluster_utilisation,
+            "autoscale_policy": config.autoscale_policy,
+            "autoscale_windows": config.autoscale_windows,
         },
         "results": results,
         "cluster": cluster_block,
+        "autoscale": autoscale_block,
         "wall_clock_s": time.perf_counter() - started,
     }
     return validate_payload(payload)

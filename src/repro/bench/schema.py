@@ -25,8 +25,12 @@ from typing import Sequence
 #: in ``config``.  v3 added the top-level ``cluster`` block (a routed
 #: heterogeneous cluster served at a fixed utilisation: blended and
 #: per-tier latency plus fleet cost; null when the sweep disabled it)
-#: and the cluster knobs in ``config``.
-SCHEMA_VERSION = 3
+#: and the cluster knobs in ``config``.  v4 added the top-level
+#: ``autoscale`` block (an elastic fleet driven through a diurnal trace
+#: by a scaler policy: per-window timeline, blended cost, and the
+#: peak-sized static baseline; null when the sweep disabled it) and the
+#: autoscale knobs in ``config``.
+SCHEMA_VERSION = 4
 
 #: The ``suite`` discriminator: distinguishes our artifacts from any other
 #: JSON a pipeline might hand the validator.
@@ -202,6 +206,15 @@ def _check_config(config: object, path: str) -> None:
     _check_number(
         config, path, "cluster_utilisation", minimum=0, exclusive=True
     )
+    # v4 autoscale knobs: an empty policy string means the sweep disabled
+    # the autoscale block (and ``$.autoscale`` must then be null).
+    policy = _get(config, path, "autoscale_policy")
+    if not isinstance(policy, str):
+        _fail(
+            f"{path}.autoscale_policy",
+            f"expected a string, got {policy!r}",
+        )
+    _check_int(config, path, "autoscale_windows", minimum=1)
 
 
 def _check_perf(perf: object, path: str) -> None:
@@ -366,6 +379,114 @@ def _check_cluster(cluster: object, path: str) -> None:
     _check_number(result, rpath, "usd_per_million_queries", minimum=0)
 
 
+def _check_int(
+    obj: dict, path: str, key: str, *, minimum: int = 0
+) -> int:
+    value = _get(obj, path, key)
+    if isinstance(value, bool) or not isinstance(value, int) or (
+        value < minimum
+    ):
+        _fail(
+            f"{path}.{key}",
+            f"expected an integer >= {minimum}, got {value!r}",
+        )
+    return value
+
+
+def _check_autoscale_window(window: object, path: str) -> None:
+    if not isinstance(window, dict):
+        _fail(path, f"expected an object, got {window!r}")
+    _check_int(window, path, "index")
+    _check_int(window, path, "nodes", minimum=1)
+    _check_int(window, path, "pending_nodes")
+    _check_int(window, path, "desired_nodes", minimum=1)
+    _check_int(window, path, "queries")
+    _check_number(window, path, "t_s", minimum=0)
+    _check_number(window, path, "interval_s", minimum=0, exclusive=True)
+    _check_number(window, path, "offered_rate_per_s", minimum=0)
+    _check_number(window, path, "utilisation", minimum=0)
+    _check_number(window, path, "queue_depth", minimum=0)
+    for key in ("mean_ms", "p50_ms", "p95_ms", "p99_ms", "tail_ms"):
+        _check_number(window, path, key, minimum=0, exclusive=True)
+    _check_fraction(window, path, "sla_attainment")
+    _check_fraction(window, path, "overflow_share")
+
+
+def _check_autoscale(autoscale: object, path: str) -> None:
+    """The v4 elastic-fleet block: timeline + cost + static baseline."""
+    if not isinstance(autoscale, dict):
+        _fail(path, f"expected an object, got {autoscale!r}")
+    _check_str(autoscale, path, "model")
+    _check_str(autoscale, path, "backend")
+    _check_str(autoscale, path, "policy")
+    _check_int(autoscale, path, "windows", minimum=1)
+    _check_number(autoscale, path, "slo_ms", minimum=0, exclusive=True)
+    result = _get(autoscale, path, "result")
+    if not isinstance(result, dict):
+        _fail(f"{path}.result", f"expected an object, got {result!r}")
+    rpath = f"{path}.result"
+    _check_str(result, rpath, "backend")
+    _check_str(result, rpath, "policy")
+    _check_number(result, rpath, "slo_ms", minimum=0, exclusive=True)
+    _check_number(result, rpath, "slo_percentile", minimum=0, exclusive=True)
+    _check_number(result, rpath, "per_node_qps", minimum=0, exclusive=True)
+    _check_number(
+        result, rpath, "node_usd_per_hour", minimum=0, exclusive=True
+    )
+    _check_int(result, rpath, "min_nodes", minimum=1)
+    _check_int(result, rpath, "max_nodes", minimum=1)
+    _check_number(result, rpath, "provision_delay_s", minimum=0)
+    _check_number(result, rpath, "cooldown_s", minimum=0)
+    trace = _get(result, rpath, "trace")
+    if not isinstance(trace, dict):
+        _fail(f"{rpath}.trace", f"expected an object, got {trace!r}")
+    for key in ("mean_rate_per_s", "peak_rate_per_s", "duration_s"):
+        _check_number(trace, f"{rpath}.trace", key, minimum=0, exclusive=True)
+    timeline = _get(result, rpath, "timeline")
+    if not isinstance(timeline, list) or not timeline:
+        _fail(
+            f"{rpath}.timeline",
+            f"expected a non-empty list, got {timeline!r}",
+        )
+    for i, window in enumerate(timeline):
+        _check_autoscale_window(window, f"{rpath}.timeline[{i}]")
+    aggregate = _get(result, rpath, "aggregate")
+    if not isinstance(aggregate, dict):
+        _fail(f"{rpath}.aggregate", f"expected an object, got {aggregate!r}")
+    apath = f"{rpath}.aggregate"
+    _check_number(aggregate, apath, "mean_nodes", minimum=0, exclusive=True)
+    _check_int(aggregate, apath, "peak_nodes", minimum=1)
+    _check_int(aggregate, apath, "min_nodes", minimum=1)
+    _check_int(aggregate, apath, "scaling_actions")
+    for key in ("node_hours", "usd_total", "usd_per_hour", "worst_tail_ms"):
+        _check_number(aggregate, apath, key, minimum=0, exclusive=True)
+    _check_number(aggregate, apath, "usd_per_million_queries", minimum=0)
+    _check_number(aggregate, apath, "offered_queries", minimum=0)
+    _check_fraction(aggregate, apath, "sla_attainment")
+    _check_fraction(aggregate, apath, "overflow_share")
+    savings = _get(aggregate, apath, "usd_savings_vs_static")
+    if savings is not None:
+        # Savings may legitimately be negative (elasticity cost more);
+        # only the type and finiteness are pinned.
+        _check_number(aggregate, apath, "usd_savings_vs_static")
+    static = _get(result, rpath, "static_baseline")
+    if static is not None:
+        # null means the SLO sits below the engine's latency floor — no
+        # static fleet size can meet it, which is a legitimate result.
+        if not isinstance(static, dict):
+            _fail(
+                f"{rpath}.static_baseline",
+                f"expected null or an object, got {static!r}",
+            )
+        spath = f"{rpath}.static_baseline"
+        _check_int(static, spath, "nodes", minimum=1)
+        _check_int(static, spath, "throughput_only_nodes", minimum=1)
+        for key in ("usd_per_hour", "usd_total"):
+            _check_number(static, spath, key, minimum=0, exclusive=True)
+        _check_number(static, spath, "usd_per_million_queries", minimum=0)
+        _check_fraction(static, spath, "sla_attainment")
+
+
 def _check_result(result: object, path: str) -> None:
     if not isinstance(result, dict):
         _fail(path, f"expected an object, got {result!r}")
@@ -429,6 +550,11 @@ def validate_payload(payload: object) -> dict:
         # null means the sweep ran with cluster_backends=() — the block
         # is opt-out-able, its presence (the key) is not.
         _check_cluster(cluster, "$.cluster")
+    autoscale = _get(payload, "$", "autoscale")
+    if autoscale is not None:
+        # Same contract as the cluster block: opt-out-able via
+        # autoscale_policy="", but the key itself must exist.
+        _check_autoscale(autoscale, "$.autoscale")
     results = _get(payload, "$", "results")
     if not isinstance(results, list) or not results:
         _fail("$.results", f"expected a non-empty list, got {results!r}")

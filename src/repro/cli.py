@@ -8,18 +8,20 @@ Usage::
     repro fleet MODEL QPS [options]        # size fleets for a target load
     repro serve MODEL [options]            # latency-under-load serving lab
     repro cluster MODEL [options]          # routed heterogeneous cluster
+    repro autoscale MODEL [options]        # elastic fleet through a trace
     repro bench [options]                  # backend x model x batch sweep
     repro info                             # library / model overview
 
 (Also runnable as ``python -m repro``.)  ``MODEL`` is a registered model
-name; ``--backend`` selects a registered inference backend and
-``--router`` (on ``cluster``) a registered routing policy — the
-``--help`` epilog lists both registries live, so third-party plugins
-show up automatically.  ``--json`` on
-``plan``/``infer``/``fleet``/``serve``/``cluster``/``bench``/``info``
-emits machine-readable output for scripting: with ``--json``, stdout
-carries *only* the JSON document (progress goes to stderr), so the
-output pipes straight into ``python -m json.tool``.
+name; ``--backend`` selects a registered inference backend, ``--router``
+(on ``cluster``) a registered routing policy, and ``--policy`` (on
+``autoscale``) a registered scaler policy — the ``--help`` epilog lists
+the registries live, so third-party plugins show up automatically.
+``--json`` on ``plan``/``infer``/``fleet``/``serve``/``cluster``/
+``autoscale``/``bench``/``info`` emits machine-readable output for
+scripting: with ``--json``, stdout carries *only* the JSON document
+(progress goes to stderr), so the output pipes straight into ``python -m
+json.tool``.
 """
 
 from __future__ import annotations
@@ -507,6 +509,127 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     return 0
 
 
+def _autoscale_trace(
+    name: str, rate_per_s: float, duration_s: float, seed: int
+):
+    """Build the named offered-load trace around a base rate.
+
+    Shape construction (and default parameters) live in
+    :func:`repro.serving.arrivals.trace_for`; only the deterministic
+    seeding of the bursty shape's modulation path is decided here.
+    """
+    import numpy as np
+
+    from repro.serving.arrivals import trace_for
+    from repro.serving.lab import lab_seed
+
+    rng = np.random.default_rng(lab_seed(seed, "autoscale-trace"))
+    return trace_for(name, rng, rate_per_s, duration_s)
+
+
+def _cmd_autoscale(args: argparse.Namespace) -> int:
+    from repro.autoscale import (
+        UnknownScalerError,
+        available_scalers,
+        compare_policies,
+        get_scaler,
+    )
+    from repro.serving.arrivals import TRACE_SHAPES
+
+    if (rc := _check_model(args.model)) is not None:
+        return rc
+    if args.trace not in TRACE_SHAPES:
+        return _fail(
+            f"unknown trace {args.trace!r}; "
+            f"available: {list(TRACE_SHAPES)}"
+        )
+    policies = args.policy or list(available_scalers())
+    try:
+        for name in policies:
+            get_scaler(name)  # fail on typos before any build work
+    except UnknownScalerError as exc:
+        return _fail(str(exc))
+    session = _build_session(args, seed=args.seed)
+    if session is None:
+        return 2
+    per_node = session.perf().throughput_items_per_s
+    rate = args.rate if args.rate is not None else args.nodes_mean * per_node
+    duration_s = args.windows * args.interval_s
+    if rate <= 0 or duration_s <= 0:
+        return _fail(
+            f"offered rate and horizon must be positive, got rate={rate}, "
+            f"duration={duration_s}"
+        )
+    trace = _autoscale_trace(args.trace, rate, duration_s, args.seed)
+    try:
+        results = compare_policies(
+            session,
+            trace,
+            policies,
+            progress=lambda name: print(
+                f"autoscale {args.model}/{session.backend}/{name} ...",
+                file=sys.stderr,
+            ),
+            slo_ms=args.slo_ms,
+            slo_percentile=args.percentile,
+            windows=args.windows,
+            provision_delay_s=args.provision_delay_s,
+            cooldown_s=args.cooldown_s,
+            min_nodes=args.min_nodes,
+            max_nodes=args.max_nodes,
+            seed=args.seed,
+        )
+    except ValueError as exc:
+        return _fail(str(exc))
+    report = {name: result.as_dict() for name, result in results.items()}
+    payload = {
+        "model": args.model,
+        "backend": session.backend,
+        "trace": args.trace,
+        "rate_per_s": rate,
+        "windows": args.windows,
+        "interval_s": args.interval_s,
+        "slo_ms": args.slo_ms,
+        "slo_percentile": args.percentile,
+        "seed": args.seed,
+        "policies": report,
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(
+        f"autoscale {args.model}/{session.backend}: {args.trace} trace @ "
+        f"{rate:,.0f}/s mean, {args.windows} x {args.interval_s:g}s "
+        f"windows, p{args.percentile:g} SLO {args.slo_ms:g} ms"
+    )
+    for name, result in report.items():
+        agg = result["aggregate"]
+        nodes_line = " ".join(
+            str(w["nodes"]) for w in result["timeline"]
+        )
+        print(f"\n{name}:")
+        print(f"  nodes/window: {nodes_line}")
+        print(
+            f"  mean {agg['mean_nodes']:6.2f} nodes (peak "
+            f"{agg['peak_nodes']}, {agg['scaling_actions']} resizes)  "
+            f"SLA {agg['sla_attainment']:7.2%}  "
+            f"${agg['usd_per_hour']:8.2f}/h  "
+            f"${agg['usd_per_million_queries']:.4f}/1M"
+        )
+        static = result["static_baseline"]
+        if static is None:
+            print("  static baseline: SLO unattainable at any fleet size")
+        else:
+            savings = agg["usd_savings_vs_static"]
+            print(
+                f"  vs static x{static['nodes']} (peak-sized): "
+                f"SLA {static['sla_attainment']:7.2%}  "
+                f"${static['usd_per_hour']:8.2f}/h  "
+                f"elastic saves {savings:+.1%}"
+            )
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import (
         BenchConfig,
@@ -539,6 +662,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         overrides["cluster_backends"] = tuple(args.backend)
     if args.cluster_router:
         overrides["cluster_router"] = args.cluster_router
+    if args.no_autoscale and args.autoscale_policy:
+        return _fail("--no-autoscale and --autoscale-policy are mutually "
+                     "exclusive")
+    if args.no_autoscale:
+        overrides["autoscale_policy"] = ""
+    elif args.autoscale_policy:
+        overrides["autoscale_policy"] = args.autoscale_policy
+    if args.autoscale_windows is not None:
+        overrides["autoscale_windows"] = args.autoscale_windows
     if args.batch:
         overrides["batches"] = tuple(args.batch)
     if args.max_rows is not None:
@@ -629,6 +761,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 def _cmd_info(args: argparse.Namespace) -> int:
     import repro
+    from repro.autoscale import available_scalers
     from repro.cluster import available_policies
     from repro.experiments.harness import EXPERIMENTS
     from repro.models.spec import MODEL_FACTORIES
@@ -649,6 +782,7 @@ def _cmd_info(args: argparse.Namespace) -> int:
                     "version": repro.__version__,
                     "backends": list(available_backends()),
                     "routing_policies": list(available_policies()),
+                    "scaler_policies": list(available_scalers()),
                     "models": models,
                     "experiments": list(EXPERIMENTS),
                 },
@@ -659,6 +793,7 @@ def _cmd_info(args: argparse.Namespace) -> int:
     print(f"repro {repro.__version__} — MicroRec (MLSys'21) reproduction")
     print(f"\nbackends: {', '.join(available_backends())}")
     print(f"routing policies: {', '.join(available_policies())}")
+    print(f"scaler policies: {', '.join(available_scalers())}")
     print("\nproduction models (+ benchmark family):")
     for name, factory in MODEL_FACTORIES.items():
         m = factory()
@@ -677,6 +812,7 @@ def _registry_epilog() -> str:
     hard-coded strings, so backends or routing policies registered by
     plugins (or future PRs) appear in the help text automatically.
     """
+    from repro.autoscale import available_scalers
     from repro.cluster import available_policies
     from repro.models.spec import MODEL_FACTORIES
     from repro.runtime import available_backends
@@ -684,7 +820,8 @@ def _registry_epilog() -> str:
     return (
         f"registered models: {' | '.join(MODEL_FACTORIES)}\n"
         f"registered backends: {' | '.join(available_backends())}\n"
-        f"registered routing policies: {' | '.join(available_policies())}"
+        f"registered routing policies: {' | '.join(available_policies())}\n"
+        f"registered scaler policies: {' | '.join(available_scalers())}"
     )
 
 
@@ -730,11 +867,19 @@ def _add_planner_flags(parser: argparse.ArgumentParser) -> None:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro._version import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description=__doc__,
         epilog=_registry_epilog(),
         formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {__version__}",
+        help="print the package version and exit",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -898,6 +1043,73 @@ def build_parser() -> argparse.ArgumentParser:
     p_cluster.add_argument("--json", action="store_true")
     p_cluster.set_defaults(func=_cmd_cluster)
 
+    from repro.autoscale import available_scalers
+    from repro.serving.arrivals import TRACE_SHAPES
+
+    p_auto = sub.add_parser(
+        "autoscale",
+        help="drive an elastic fleet through a rate trace under every "
+        "scaler policy",
+        epilog=_registry_epilog(),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    p_auto.add_argument("model", help=_model_help())
+    _add_backend_flag(p_auto, default="gpu")
+    p_auto.add_argument(
+        "--policy", action="append", default=None, metavar="NAME",
+        help=f"scaler policy ({' | '.join(available_scalers())}); "
+        "repeatable; default: every registered policy",
+    )
+    p_auto.add_argument(
+        "--trace", default="diurnal", metavar="NAME",
+        help=f"offered-load shape ({' | '.join(TRACE_SHAPES)}); "
+        "default diurnal",
+    )
+    p_auto.add_argument(
+        "--rate", type=float, default=None, metavar="QPS",
+        help="base aggregate rate of the trace in queries/s (default: "
+        "--nodes-mean x one node's sustained throughput)",
+    )
+    p_auto.add_argument(
+        "--nodes-mean", type=float, default=8.0, metavar="N",
+        help="base rate expressed in nodes' worth of capacity when "
+        "--rate is omitted (default 8)",
+    )
+    p_auto.add_argument(
+        "--windows", type=int, default=24,
+        help="number of control windows over the horizon (default 24)",
+    )
+    p_auto.add_argument(
+        "--interval-s", type=float, default=0.05,
+        help="control interval / simulated window length (default 0.05 s)",
+    )
+    p_auto.add_argument(
+        "--provision-delay-s", type=float, default=None,
+        help="lag before a scale-up serves traffic (default: one "
+        "control interval)",
+    )
+    p_auto.add_argument(
+        "--cooldown-s", type=float, default=0.0,
+        help="minimum time between scaling actions (default 0)",
+    )
+    p_auto.add_argument("--min-nodes", type=int, default=1)
+    p_auto.add_argument("--max-nodes", type=int, default=1_000_000)
+    p_auto.add_argument(
+        "--slo-ms", type=float, default=30.0,
+        help="latency SLO (default 30 ms — 'tens of milliseconds', sec. 1)",
+    )
+    p_auto.add_argument(
+        "--percentile", type=float, default=99.0,
+        help="percentile the SLO is judged at (default p99)",
+    )
+    p_auto.add_argument(
+        "--max-rows", type=int, default=None,
+        help="row-cap tables before deployment (laptop-friendly)",
+    )
+    p_auto.add_argument("--seed", type=int, default=0)
+    p_auto.add_argument("--json", action="store_true")
+    p_auto.set_defaults(func=_cmd_autoscale)
+
     p_bench = sub.add_parser(
         "bench",
         help="sweep backends x models x batches into BENCH_<name>.json",
@@ -930,6 +1142,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument(
         "--no-cluster", action="store_true",
         help='omit the cluster block ("cluster": null in the artifact)',
+    )
+    p_bench.add_argument(
+        "--autoscale-policy", default=None, metavar="NAME",
+        help="scaler policy of the v4 autoscale block (default "
+        "reactive-utilisation)",
+    )
+    p_bench.add_argument(
+        "--autoscale-windows", type=int, default=None, metavar="N",
+        help="control windows of the autoscale block (default 12)",
+    )
+    p_bench.add_argument(
+        "--no-autoscale", action="store_true",
+        help='omit the autoscale block ("autoscale": null in the artifact)',
     )
     p_bench.add_argument(
         "--max-rows", type=int, default=None,

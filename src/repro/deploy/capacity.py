@@ -30,19 +30,50 @@ if TYPE_CHECKING:  # avoid a runtime import cycle with repro.runtime
     from repro.runtime.perf import PerfEstimate
     from repro.runtime.session import Session
 
-#: Appendix AWS rates: f1.2xlarge (one U280-class board) and the CPU
-#: baseline server.
-FPGA_USD_PER_HOUR = 1.65
-CPU_USD_PER_HOUR = 1.82
-#: p3.2xlarge-class rate: one V100 inference server (the GPU the
-#: DeepRecSys observations modelled in ``repro.baselines.gpu`` describe).
-GPU_USD_PER_HOUR = 3.06
-#: Hypothetical NMP-DIMM server: the CPU baseline server plus a ~20 %
-#: memory-subsystem premium.  TensorDIMM/RecNMP never shipped — the paper
-#: notes such DRAM "would take years to put in production" — so this rate
-#: prices the proposal's own assumption of commodity servers with
-#: upgraded DIMMs.
-NMP_USD_PER_HOUR = 2.18
+#: Hourly node rates, one per accelerator family, in a single table so
+#: backends, cluster costing, and the autoscaling control plane all price
+#: from the same numbers:
+#:
+#: * ``fpga`` — appendix AWS rate: f1.2xlarge (one U280-class board);
+#: * ``cpu`` — the appendix's CPU baseline server;
+#: * ``gpu`` — p3.2xlarge-class rate: one V100 inference server (the GPU
+#:   the DeepRecSys observations modelled in ``repro.baselines.gpu``
+#:   describe);
+#: * ``nmp`` — hypothetical NMP-DIMM server: the CPU baseline server plus
+#:   a ~20 % memory-subsystem premium.  TensorDIMM/RecNMP never shipped —
+#:   the paper notes such DRAM "would take years to put in production" —
+#:   so this rate prices the proposal's own assumption of commodity
+#:   servers with upgraded DIMMs.
+ACCELERATOR_RATES: dict[str, float] = {
+    "fpga": 1.65,
+    "cpu": 1.82,
+    "gpu": 3.06,
+    "nmp": 2.18,
+}
+
+#: Long-standing aliases into :data:`ACCELERATOR_RATES` (kept for callers
+#: that imported the scalar names).
+FPGA_USD_PER_HOUR = ACCELERATOR_RATES["fpga"]
+CPU_USD_PER_HOUR = ACCELERATOR_RATES["cpu"]
+GPU_USD_PER_HOUR = ACCELERATOR_RATES["gpu"]
+NMP_USD_PER_HOUR = ACCELERATOR_RATES["nmp"]
+
+
+def accelerator_rate(backend: str) -> float:
+    """Hourly node rate for a backend name.
+
+    Variant backends price as their base family (``fpga-compressed``
+    runs on the same f1.2xlarge board as ``fpga``); unknown names raise
+    a :class:`ValueError` listing the priced families.
+    """
+    family = backend.split("-", 1)[0]
+    try:
+        return ACCELERATOR_RATES[family]
+    except KeyError:
+        raise ValueError(
+            f"no hourly rate for backend {backend!r}; priced families: "
+            f"{', '.join(sorted(ACCELERATOR_RATES))}"
+        ) from None
 
 
 @dataclass(frozen=True)

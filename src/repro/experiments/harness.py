@@ -11,6 +11,7 @@ from repro.experiments import (
     cache_study,
     compression,
     cost,
+    elastic_fleet,
     figure3,
     figure7,
     heterogeneous_fleet,
@@ -40,6 +41,7 @@ EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
     "serving_sla": serving_sla.run,
     "latency_under_load": latency_under_load.run,
     "heterogeneous_fleet": heterogeneous_fleet.run,
+    "elastic_fleet": elastic_fleet.run,
     "quantization": quantization.run,
     "related_work": related_work.run,
     "compression": compression.run,

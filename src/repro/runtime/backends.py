@@ -33,12 +33,7 @@ from repro.core.tables import make_tables
 from repro.cpu.baseline import CpuBaselineEngine
 from repro.cpu.costmodel import CpuCostModel, CpuCostParams
 from repro.cpu.server import CpuServerSpec
-from repro.deploy.capacity import (
-    CPU_USD_PER_HOUR,
-    FPGA_USD_PER_HOUR,
-    GPU_USD_PER_HOUR,
-    NMP_USD_PER_HOUR,
-)
+from repro.deploy.capacity import accelerator_rate
 from repro.fpga.accelerator import FpgaConfig
 from repro.memory.spec import MemorySystemSpec
 from repro.memory.timing import MemoryTimingModel
@@ -103,7 +98,7 @@ class FpgaBackend:
         plan: Plan | None = None,
         materialize_below_bytes: int = 0,
         mlp: Mlp | None = None,
-        usd_per_hour: float = FPGA_USD_PER_HOUR,
+        usd_per_hour: float = accelerator_rate("fpga"),
         **knobs: object,
     ) -> Session:
         """Plan, place, and assemble a MicroRec session.
@@ -170,7 +165,7 @@ class CpuBackend:
         batch_timeout_ms: float = 10.0,
         materialize_below_bytes: int = 0,
         mlp: Mlp | None = None,
-        usd_per_hour: float = CPU_USD_PER_HOUR,
+        usd_per_hour: float = accelerator_rate("cpu"),
         **knobs: object,
     ) -> Session:
         """Assemble the CPU session: real tables + MLP, calibrated timing.
@@ -226,7 +221,7 @@ class GpuBackend:
         batch_timeout_ms: float = 10.0,
         materialize_below_bytes: int = 0,
         mlp: Mlp | None = None,
-        usd_per_hour: float = GPU_USD_PER_HOUR,
+        usd_per_hour: float = accelerator_rate("gpu"),
         **knobs: object,
     ) -> Session:
         """Assemble the GPU session: real tables + MLP, modelled timing.
@@ -277,7 +272,7 @@ class NmpBackend:
         serving_batch: int = DEFAULT_CPU_SERVING_BATCH,
         materialize_below_bytes: int = 0,
         mlp: Mlp | None = None,
-        usd_per_hour: float = NMP_USD_PER_HOUR,
+        usd_per_hour: float = accelerator_rate("nmp"),
         **knobs: object,
     ) -> Session:
         """Assemble the NMP session: real tables + MLP, modelled timing.

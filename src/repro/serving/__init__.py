@@ -21,6 +21,7 @@ Layers, bottom up:
 
 from repro.serving.arrivals import (
     ARRIVAL_PROCESSES,
+    TRACE_SHAPES,
     RateSegment,
     RateTrace,
     arrivals_for,
@@ -30,6 +31,7 @@ from repro.serving.arrivals import (
     poisson_arrivals,
     segment,
     trace_arrivals,
+    trace_for,
     uniform_arrivals,
 )
 from repro.serving.lab import (
@@ -50,9 +52,11 @@ from repro.serving.sla import DEFAULT_SLA_MS, SlaReport, sla_capacity_sweep
 
 __all__ = [
     "ARRIVAL_PROCESSES",
+    "TRACE_SHAPES",
     "RateSegment",
     "RateTrace",
     "arrivals_for",
+    "trace_for",
     "bursty_trace",
     "diurnal_trace",
     "flash_crowd_trace",

@@ -218,9 +218,19 @@ class RateTrace:
         return RateTrace(self.segments + other.segments)
 
     def scaled(self, factor: float) -> "RateTrace":
-        """The same load *shape* with every rate multiplied by ``factor``."""
-        if factor < 0:
-            raise ValueError(f"factor must be >= 0, got {factor}")
+        """The same load *shape* with every rate multiplied by ``factor``.
+
+        ``factor`` must be strictly positive: a zero factor would zero
+        every segment's rate, and the resulting trace silently realises
+        an *empty* arrival stream downstream (which every serving
+        consumer rejects much later, with a far less helpful error).
+        """
+        if factor <= 0:
+            raise ValueError(
+                f"scale factor must be positive, got {factor} (a "
+                "non-positive factor would silently produce an empty "
+                "arrival stream)"
+            )
         return RateTrace(
             tuple(
                 RateSegment(
@@ -240,7 +250,9 @@ class RateTrace:
 
         This is how the SLA-aware fleet planner derives *per-node* load
         from an aggregate trace: Poisson splitting across ``n`` nodes
-        preserves the shape and divides the mean.
+        preserves the shape and divides the mean.  ``mean_rate_per_s``
+        must be strictly positive — a zero target mean would silently
+        realise an empty arrival stream downstream.
         """
         _check_positive("mean_rate_per_s", mean_rate_per_s)
         current = self.mean_rate
@@ -276,6 +288,29 @@ class RateTrace:
                 return float(seg.rate_fn(t_s))
             t_s -= seg.duration_s
         return 0.0
+
+    def rates_at(self, t_s: "np.ndarray | Sequence[float]") -> np.ndarray:
+        """Vectorised :meth:`rate_at`: offered rate per time in ``t_s``.
+
+        Times are bucketed into segments with one ``searchsorted`` and
+        each segment's rate function is evaluated once over its bucket,
+        so callers sampling a trace densely (the autoscaling simulator
+        windows, plotting) avoid a Python-level :meth:`rate_at` call per
+        point.  Times outside the horizon evaluate to 0, matching
+        :meth:`rate_at`.
+        """
+        t = np.asarray(t_s, dtype=np.float64)
+        bounds = np.concatenate(
+            ([0.0], np.cumsum([seg.duration_s for seg in self.segments]))
+        )
+        out = np.zeros(t.shape, dtype=np.float64)
+        idx = np.searchsorted(bounds, t, side="right") - 1
+        valid = (t >= 0) & (idx >= 0) & (idx < len(self.segments))
+        for k in np.unique(idx[valid]):
+            seg = self.segments[int(k)]
+            mask = valid & (idx == k)
+            out[mask] = _eval_rate(seg.rate_fn, t[mask] - bounds[int(k)])
+        return out
 
 
 def diurnal_trace(
@@ -429,6 +464,39 @@ def trace_arrivals(rng: np.random.Generator, trace: RateTrace) -> np.ndarray:
     return np.concatenate(chunks)
 
 
+def trace_for(
+    shape: str,
+    rng: np.random.Generator | None,
+    rate_per_s: float,
+    duration_s: float,
+) -> RateTrace:
+    """The named trace shape around a base rate — the single source of
+    the shapes' default parameters.
+
+    ``shape`` is one of :data:`TRACE_SHAPES`: ``"constant"`` (steady
+    control), ``"diurnal"``, ``"bursty"`` (needs ``rng`` for its
+    modulation path), or ``"flash"``, each built with this module's
+    default shape parameters.  Both :func:`arrivals_for` and the
+    autoscaling CLI (``repro autoscale --trace``) resolve shapes here,
+    so the two surfaces can never drift apart.
+    """
+    if shape == "constant":
+        return RateTrace.constant(rate_per_s, duration_s)
+    if shape == "diurnal":
+        return diurnal_trace(rate_per_s, duration_s)
+    if shape == "bursty":
+        if rng is None:
+            raise ValueError(
+                "bursty traces draw a modulation path; pass an rng"
+            )
+        return bursty_trace(rng, rate_per_s, duration_s)
+    if shape == "flash":
+        return flash_crowd_trace(rate_per_s, duration_s)
+    raise ValueError(
+        f"unknown trace shape {shape!r}; expected one of {TRACE_SHAPES}"
+    )
+
+
 def arrivals_for(
     process: str,
     rng: np.random.Generator,
@@ -439,9 +507,10 @@ def arrivals_for(
 
     ``process`` is one of :data:`ARRIVAL_PROCESSES`: ``"poisson"`` and
     ``"uniform"`` use the steady generators directly; ``"diurnal"``,
-    ``"bursty"``, and ``"flash"`` build the corresponding trace around
-    ``rate_per_s`` with this module's default shape parameters and thin
-    it.  The serving lab and ``repro serve`` sweep these by name.
+    ``"bursty"``, and ``"flash"`` build the corresponding trace
+    (:func:`trace_for`) around ``rate_per_s`` with this module's default
+    shape parameters and thin it.  The serving lab and ``repro serve``
+    sweep these by name.
     """
     if process not in ARRIVAL_PROCESSES:
         raise ValueError(
@@ -452,13 +521,7 @@ def arrivals_for(
         return poisson_arrivals(rng, rate_per_s, duration_s)
     if process == "uniform":
         return uniform_arrivals(rate_per_s, duration_s)
-    if process == "diurnal":
-        trace = diurnal_trace(rate_per_s, duration_s)
-    elif process == "bursty":
-        trace = bursty_trace(rng, rate_per_s, duration_s)
-    else:  # flash
-        trace = flash_crowd_trace(rate_per_s, duration_s)
-    return trace_arrivals(rng, trace)
+    return trace_arrivals(rng, trace_for(process, rng, rate_per_s, duration_s))
 
 
 #: Processes :func:`arrivals_for` (and the serving lab / CLI) know by name.
@@ -468,4 +531,12 @@ ARRIVAL_PROCESSES: Sequence[str] = (
     "diurnal",
     "bursty",
     "flash",
+)
+
+#: Trace shapes :func:`trace_for` (and ``repro autoscale``) know by name.
+TRACE_SHAPES: Sequence[str] = (
+    "diurnal",
+    "bursty",
+    "flash",
+    "constant",
 )

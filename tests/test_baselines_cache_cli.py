@@ -128,6 +128,32 @@ class TestCli:
         assert "production models" in out
         assert "small" in out
 
+    def test_version_flag(self, capsys):
+        import repro
+        from repro._version import __version__
+
+        # argparse's version action prints and exits 0.
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {__version__}"
+        # The importable version comes from the same single source that
+        # setup.py execs into its metadata.
+        assert repro.__version__ == __version__
+
+    def test_version_matches_setup_metadata(self):
+        import os
+        import re
+
+        from repro._version import __version__
+
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        setup_text = open(os.path.join(root, "setup.py")).read()
+        # setup.py must source its version from _version.py, not pin one.
+        assert "_version.py" in setup_text
+        assert not re.search(r'version\s*=\s*"[0-9]', setup_text)
+        assert re.match(r"^\d+\.\d+\.\d+$", __version__)
+
     def test_plan_small(self, capsys):
         assert main(["plan", "small"]) == 0
         out = capsys.readouterr().out

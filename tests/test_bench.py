@@ -69,6 +69,14 @@ class TestConfig:
                 BenchConfig.quick_config(cluster_backends=("tpu",))
             )
 
+    def test_autoscale_knob_validation(self):
+        with pytest.raises(ValueError, match="autoscale_windows"):
+            BenchConfig(autoscale_windows=0)
+        with pytest.raises(ValueError, match="unknown autoscale_policy"):
+            run_bench(
+                BenchConfig.quick_config(autoscale_policy="warp-drive")
+            )
+
     def test_serving_knob_validation(self):
         with pytest.raises(ValueError):
             BenchConfig(slo_ms=0.0)
@@ -164,6 +172,31 @@ class TestRunBench:
         )
         payload = run_bench(quiet)
         assert payload["cluster"] is None
+        assert validate_payload(payload) is payload
+
+    def test_autoscale_block_present_and_consistent(self, payload, config):
+        autoscale = payload["autoscale"]
+        assert autoscale is not None
+        assert autoscale["policy"] == config.autoscale_policy
+        assert autoscale["backend"] == config.resolved_backends()[0]
+        result = autoscale["result"]
+        assert len(result["timeline"]) == config.autoscale_windows
+        aggregate = result["aggregate"]
+        assert 0.0 <= aggregate["sla_attainment"] <= 1.0
+        assert aggregate["usd_total"] > 0
+        # The elastic fleet genuinely moved on the diurnal trace.
+        assert aggregate["peak_nodes"] > aggregate["min_nodes"]
+        assert payload["config"]["autoscale_policy"] == (
+            config.autoscale_policy
+        )
+
+    def test_autoscale_block_can_be_disabled(self):
+        quiet = BenchConfig.quick_config(
+            backends=("cpu",), batches=(1,), max_rows=128,
+            autoscale_policy="", name="noauto",
+        )
+        payload = run_bench(quiet)
+        assert payload["autoscale"] is None
         assert validate_payload(payload) is payload
 
     def test_pipelined_engines_hold_sla_capacity(self, payload):
@@ -298,6 +331,49 @@ class TestValidator:
             with pytest.raises(BenchSchemaError, match=knob):
                 validate_payload(bad)
 
+    def test_rejects_missing_autoscale_key(self, payload):
+        bad = copy.deepcopy(payload)
+        del bad["autoscale"]
+        with pytest.raises(BenchSchemaError, match="autoscale"):
+            validate_payload(bad)
+
+    def test_null_autoscale_allowed(self, payload):
+        ok = copy.deepcopy(payload)
+        ok["autoscale"] = None
+        assert validate_payload(ok) is ok
+
+    def test_rejects_bad_autoscale_block(self, payload):
+        bad = copy.deepcopy(payload)
+        bad["autoscale"]["result"]["timeline"][0]["nodes"] = 0
+        with pytest.raises(BenchSchemaError, match="nodes"):
+            validate_payload(bad)
+        bad = copy.deepcopy(payload)
+        bad["autoscale"]["result"]["timeline"] = []
+        with pytest.raises(BenchSchemaError, match="timeline"):
+            validate_payload(bad)
+        bad = copy.deepcopy(payload)
+        bad["autoscale"]["result"]["aggregate"]["sla_attainment"] = 1.2
+        with pytest.raises(BenchSchemaError, match="sla_attainment"):
+            validate_payload(bad)
+        # Negative savings are legitimate (elasticity cost more).
+        ok = copy.deepcopy(payload)
+        ok["autoscale"]["result"]["aggregate"]["usd_savings_vs_static"] = (
+            -0.5
+        )
+        assert validate_payload(ok) is ok
+
+    def test_null_autoscale_static_baseline_allowed(self, payload):
+        ok = copy.deepcopy(payload)
+        ok["autoscale"]["result"]["static_baseline"] = None
+        assert validate_payload(ok) is ok
+
+    def test_rejects_missing_autoscale_config_knobs(self, payload):
+        for knob in ("autoscale_policy", "autoscale_windows"):
+            bad = copy.deepcopy(payload)
+            del bad["config"][knob]
+            with pytest.raises(BenchSchemaError, match=knob):
+                validate_payload(bad)
+
     def test_rejects_missing_serving_config_knobs(self, payload):
         for knob in ("slo_ms", "serve_duration_s", "serve_processes",
                      "serve_utilisations"):
@@ -419,6 +495,37 @@ class TestCompare:
             "cluster/routed" in line for line in regressions(comparison)
         )
 
+    def test_autoscale_metrics_compared(self, payload):
+        comparison = compare_payloads(payload, payload)
+        assert set(comparison["autoscale"]) == {
+            "mean_nodes", "usd_per_hour", "usd_per_million_queries",
+            "sla_attainment",
+        }
+        for record in comparison["autoscale"].values():
+            assert record["delta_pct"] == 0.0
+
+    def test_autoscale_cost_growth_is_a_regression(self, payload):
+        worse = copy.deepcopy(payload)
+        worse["autoscale"]["result"]["aggregate"]["usd_per_hour"] *= 2.0
+        lines = regressions(compare_payloads(payload, worse))
+        assert any(
+            "autoscale/elastic: usd_per_hour rose 100.0%" in line
+            for line in lines
+        )
+        worse = copy.deepcopy(payload)
+        worse["autoscale"]["result"]["aggregate"]["sla_attainment"] *= 0.5
+        lines = regressions(compare_payloads(payload, worse))
+        assert any("sla_attainment fell 50.0%" in line for line in lines)
+
+    def test_missing_autoscale_blocks_compare_gracefully(self, payload):
+        without = copy.deepcopy(payload)
+        without["autoscale"] = None
+        comparison = compare_payloads(payload, without)
+        assert comparison["autoscale"] is None
+        assert not any(
+            "autoscale/elastic" in line for line in regressions(comparison)
+        )
+
     def test_results_without_serving_yield_no_serving_metrics(self, payload):
         # The metric flattener (not the validator) is what keeps the
         # comparison graceful for results lacking a serving block.
@@ -521,6 +628,31 @@ class TestCliBench:
         payload = json.loads(capsys.readouterr().out)
         assert payload["cluster"]["tiers"] == ["cpu", "fpga"]
         assert payload["cluster"]["router"] == "least-loaded"
+
+    def test_no_autoscale_flag(self, capsys, tmp_path):
+        assert main(
+            ["bench", "--quick", "--backend", "cpu", "--batch", "1",
+             "--max-rows", "128", "--no-autoscale", "--json",
+             "--output", str(tmp_path / "na.json")]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["autoscale"] is None
+        assert validate_payload(payload) is payload
+        assert main(
+            ["bench", "--quick", "--no-autoscale", "--autoscale-policy",
+             "static", "--output", str(tmp_path / "x.json")]
+        ) == 2
+
+    def test_autoscale_policy_flag(self, capsys, tmp_path):
+        assert main(
+            ["bench", "--quick", "--backend", "cpu", "--batch", "1",
+             "--max-rows", "128", "--autoscale-policy",
+             "predictive-trace", "--autoscale-windows", "6", "--json",
+             "--output", str(tmp_path / "ap.json")]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["autoscale"]["policy"] == "predictive-trace"
+        assert len(payload["autoscale"]["result"]["timeline"]) == 6
 
     def test_no_cluster_flag(self, capsys, tmp_path):
         assert main(

@@ -1,0 +1,133 @@
+"""Direct tests for multi-model co-location (``repro.deploy.colocation``).
+
+Previously exercised only indirectly through experiments; these pin the
+contract: disjoint id spaces, per-model placement restriction, latency
+evaluation on the restricted placement, and the single-model degenerate
+case matching a plain planner run.
+"""
+
+import pytest
+
+from repro.core.planner import plan_tables
+from repro.deploy.colocation import ID_STRIDE, co_locate
+from repro.models.spec import production_small
+
+
+@pytest.fixture(scope="module")
+def models():
+    return (
+        production_small().scaled(max_rows=128, name="colo-a"),
+        production_small().scaled(max_rows=256, name="colo-b"),
+    )
+
+
+@pytest.fixture(scope="module")
+def colo(models):
+    from repro.memory.spec import u280_memory_system
+    from repro.memory.timing import MemoryTimingModel
+
+    memory = u280_memory_system()
+    timing = MemoryTimingModel(axi=memory.axi)
+    return co_locate(list(models), memory, timing=timing), memory, timing
+
+
+class TestIdSpaces:
+    def test_offsets_follow_model_order(self, colo):
+        plan, _, _ = colo
+        assert plan.id_offset == {"colo-a": 0, "colo-b": ID_STRIDE}
+
+    def test_model_table_ids_are_disjoint(self, colo, models):
+        plan, _, _ = colo
+        ids_a = plan.model_table_ids("colo-a")
+        ids_b = plan.model_table_ids("colo-b")
+        assert not ids_a & ids_b
+        assert len(ids_a) == models[0].num_tables
+        assert len(ids_b) == models[1].num_tables
+
+    def test_joint_placement_covers_every_table(self, colo, models):
+        plan, _, _ = colo
+        placed = set(plan.joint.placement.specs)
+        union = plan.model_table_ids("colo-a") | plan.model_table_ids(
+            "colo-b"
+        )
+        assert placed == union
+
+
+class TestPerModelRestriction:
+    def test_groups_never_span_models(self, colo):
+        plan, _, _ = colo
+        for name in ("colo-a", "colo-b"):
+            ids = plan.model_table_ids(name)
+            restricted = plan.per_model_placement(name)
+            for group in restricted.groups:
+                assert set(group.member_ids) <= ids
+
+    def test_restriction_partitions_the_joint_groups(self, colo):
+        plan, _, _ = colo
+        a = plan.per_model_placement("colo-a")
+        b = plan.per_model_placement("colo-b")
+        assert len(a.groups) + len(b.groups) == len(
+            plan.joint.placement.groups
+        )
+
+    def test_restricted_banks_match_the_joint_assignment(self, colo):
+        plan, _, _ = colo
+        joint = plan.joint.placement
+        restricted = plan.per_model_placement("colo-a")
+        for group in restricted.groups:
+            assert restricted.bank_of[group] == joint.bank_of[group]
+
+    def test_unknown_model_raises(self, colo):
+        plan, _, _ = colo
+        with pytest.raises(KeyError):
+            plan.per_model_placement("colo-z")
+
+
+class TestLatency:
+    def test_latency_evaluates_the_restricted_placement(self, colo):
+        plan, _, timing = colo
+        for name in ("colo-a", "colo-b"):
+            latency = plan.model_lookup_latency_ns(name, timing)
+            assert latency > 0
+            assert latency == plan.per_model_placement(
+                name
+            ).lookup_latency_ns(timing)
+
+    def test_single_model_colocate_matches_plain_planning(self, models):
+        from repro.memory.spec import u280_memory_system
+        from repro.memory.timing import MemoryTimingModel
+
+        memory = u280_memory_system()
+        timing = MemoryTimingModel(axi=memory.axi)
+        model = models[0]
+        solo = co_locate([model], memory, timing=timing)
+        direct = plan_tables(model.tables, memory, timing=timing)
+        assert solo.model_lookup_latency_ns(
+            model.name, timing
+        ) == pytest.approx(direct.placement.lookup_latency_ns(timing))
+        assert len(solo.joint.placement.groups) == len(
+            direct.placement.groups
+        )
+
+    def test_co_residence_never_beats_solo_latency(self, colo, models):
+        # Co-resident tables from another model can only occupy capacity
+        # (possibly lengthening shared channels), never shorten a
+        # model's own lookups.
+        plan, memory, timing = colo
+        for model in models:
+            solo = plan_tables(model.tables, memory, timing=timing)
+            assert plan.model_lookup_latency_ns(
+                model.name, timing
+            ) >= solo.placement.lookup_latency_ns(timing) - 1e-9
+
+
+class TestValidation:
+    def test_empty_model_list_rejected(self, colo):
+        _, memory, _ = colo
+        with pytest.raises(ValueError, match="at least one model"):
+            co_locate([], memory)
+
+    def test_duplicate_model_names_rejected(self, colo, models):
+        _, memory, _ = colo
+        with pytest.raises(ValueError, match="unique"):
+            co_locate([models[0], models[0]], memory)

@@ -21,6 +21,40 @@ def cpu_model():
     return CpuCostModel(production_small())
 
 
+class TestAcceleratorRates:
+    def test_aliases_point_into_the_table(self):
+        from repro.deploy.capacity import (
+            ACCELERATOR_RATES,
+            CPU_USD_PER_HOUR,
+            FPGA_USD_PER_HOUR,
+            GPU_USD_PER_HOUR,
+            NMP_USD_PER_HOUR,
+        )
+
+        assert FPGA_USD_PER_HOUR == ACCELERATOR_RATES["fpga"]
+        assert CPU_USD_PER_HOUR == ACCELERATOR_RATES["cpu"]
+        assert GPU_USD_PER_HOUR == ACCELERATOR_RATES["gpu"]
+        assert NMP_USD_PER_HOUR == ACCELERATOR_RATES["nmp"]
+
+    def test_rate_helper_maps_variants_to_their_family(self):
+        from repro.deploy.capacity import ACCELERATOR_RATES, accelerator_rate
+
+        assert accelerator_rate("fpga") == ACCELERATOR_RATES["fpga"]
+        assert accelerator_rate("fpga-compressed") == (
+            ACCELERATOR_RATES["fpga"]
+        )
+        with pytest.raises(ValueError, match="no hourly rate"):
+            accelerator_rate("tpu")
+
+    def test_deployed_backends_price_from_the_table(self):
+        from repro.deploy.capacity import ACCELERATOR_RATES
+        from repro.runtime import deploy_model
+
+        for backend in ("fpga", "cpu", "gpu", "nmp"):
+            session = deploy_model("small", backend=backend, max_rows=64)
+            assert session.usd_per_hour == ACCELERATOR_RATES[backend]
+
+
 class TestPlanFleet:
     def test_fpga_fleet_smaller_and_cheaper(self, fpga_perf, cpu_model):
         fleets = plan_fleet(500_000, fpga_perf, cpu_model)

@@ -30,6 +30,7 @@ class TestHarness:
             "serving_sla",
             "latency_under_load",
             "heterogeneous_fleet",
+            "elastic_fleet",
             "quantization",
             "related_work",
             "compression",

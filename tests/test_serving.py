@@ -110,6 +110,46 @@ class TestRateTrace:
         assert renormed.mean_rate == pytest.approx(1000)
         assert renormed.duration_s == 2.0
 
+    def test_trace_for_resolves_every_named_shape(self):
+        from repro.serving.arrivals import TRACE_SHAPES, trace_for
+
+        rng = np.random.default_rng(3)
+        for shape in TRACE_SHAPES:
+            trace = trace_for(shape, rng, 1000.0, 1.0)
+            assert trace.duration_s == pytest.approx(1.0)
+            assert trace.peak_rate >= 1000.0 or shape == "constant"
+        with pytest.raises(ValueError, match="unknown trace shape"):
+            trace_for("sawtooth", rng, 1000.0, 1.0)
+        with pytest.raises(ValueError, match="rng"):
+            trace_for("bursty", None, 1000.0, 1.0)
+
+    def test_rates_at_matches_scalar_rate_at(self):
+        trace = (
+            diurnal_trace(1000, 1.0, amplitude=0.5)
+            .then(RateTrace.constant(300, 0.5))
+        )
+        times = np.array([-0.5, 0.0, 0.25, 0.75, 1.0, 1.2, 1.5, 2.0])
+        vectorised = trace.rates_at(times)
+        assert vectorised.shape == times.shape
+        for t, rate in zip(times, vectorised):
+            assert rate == pytest.approx(trace.rate_at(float(t)))
+        # Outside the horizon (and before 0) the rate is 0, like rate_at.
+        assert vectorised[0] == 0.0 and vectorised[-1] == 0.0
+
+    def test_scaled_rejects_non_positive_factor(self):
+        # A zero factor used to slip through (the check was `< 0`) and
+        # silently produced an empty arrival stream much further down.
+        trace = RateTrace.constant(100, 1.0)
+        for factor in (0.0, -1.0):
+            with pytest.raises(ValueError, match="must be positive"):
+                trace.scaled(factor)
+
+    def test_with_mean_rejects_non_positive_target(self):
+        trace = RateTrace.constant(100, 1.0)
+        for mean in (0.0, -5.0):
+            with pytest.raises(ValueError, match="must be positive"):
+                trace.with_mean(mean)
+
     def test_concat(self):
         parts = [RateTrace.constant(10, 0.5) for _ in range(4)]
         trace = RateTrace.concat(parts)
