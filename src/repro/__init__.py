@@ -121,13 +121,46 @@ from repro.autoscale import (
     register_scaler,
     simulate_autoscale,
 )
+
+# The distplan package builds on the cluster layer: one model sharded
+# across a cluster's nodes instead of replicated onto each.
+from repro.distplan import (
+    NodeView,
+    ShardedCluster,
+    ShardedServingResult,
+    ShardingPlan,
+    ShardingPlanError,
+    ShardingStrategy,
+    UnknownShardingStrategyError,
+    available_strategies,
+    cluster_topology,
+    deploy_sharded,
+    get_strategy,
+    node_capacity_bytes,
+    plan_sharding,
+    register_strategy,
+)
 from repro._version import __version__
 
 __all__ = [
     "__version__",
     "deploy_model",
     "deploy_cluster",
+    "deploy_sharded",
     "simulate_autoscale",
+    "plan_sharding",
+    "cluster_topology",
+    "node_capacity_bytes",
+    "NodeView",
+    "ShardedCluster",
+    "ShardedServingResult",
+    "ShardingPlan",
+    "ShardingPlanError",
+    "ShardingStrategy",
+    "UnknownShardingStrategyError",
+    "available_strategies",
+    "get_strategy",
+    "register_strategy",
     "AutoscaleResult",
     "AutoscaleWindow",
     "ScalerPolicy",

@@ -50,13 +50,24 @@ AUTOSCALE_METRICS = {
     "sla_attainment": "lower-is-worse",
 }
 
+#: Sharded-fleet metrics (schema v5) compared when both artifacts carry
+#: a non-null ``sharding`` block: blended fan-out tail latency, SLA
+#: attainment, the plan's lookup fan-out, and peak node occupancy.
+SHARDING_METRICS = {
+    "p99_ms": "higher-is-worse",
+    "sla_attainment": "lower-is-worse",
+    "fanout": "higher-is-worse",
+    "max_node_utilisation": "higher-is-worse",
+}
+
 #: Every compared metric's regression direction
-#: (perf + serving + cluster + autoscale).
+#: (perf + serving + cluster + autoscale + sharding).
 ALL_METRIC_DIRECTIONS = {
     **METRICS,
     **SERVING_METRICS,
     **CLUSTER_METRICS,
     **AUTOSCALE_METRICS,
+    **SHARDING_METRICS,
 }
 
 
@@ -104,6 +115,21 @@ def _cluster_metrics(payload: dict) -> dict[str, float] | None:
         "p99_ms": result["blended"]["p99_ms"],
         "sla_attainment": result["blended"]["sla_attainment"],
         "usd_per_million_queries": result["usd_per_million_queries"],
+    }
+
+
+def _sharding_metrics(payload: dict) -> dict[str, float] | None:
+    """Flatten a payload's sharding block into comparable scalars."""
+    sharding = payload.get("sharding")
+    if not isinstance(sharding, dict):
+        return None
+    blended = sharding["result"]["blended"]
+    plan = sharding["plan"]
+    return {
+        "p99_ms": blended["p99_ms"],
+        "sla_attainment": blended["sla_attainment"],
+        "fanout": plan["fanout"],
+        "max_node_utilisation": plan["max_node_utilisation"],
     }
 
 
@@ -201,6 +227,11 @@ def compare_payloads(old: dict, new: dict) -> dict[str, object]:
             _autoscale_metrics(new),
             AUTOSCALE_METRICS,
         ),
+        "sharding": _block_deltas(
+            _sharding_metrics(old),
+            _sharding_metrics(new),
+            SHARDING_METRICS,
+        ),
         "removed": sorted(
             f"{m}/{b}" for m, b in old_pairs.keys() - new_pairs.keys()
         ),
@@ -219,6 +250,7 @@ def regressions(
     for block, (model, backend) in {
         "cluster": ("cluster", "routed"),
         "autoscale": ("autoscale", "elastic"),
+        "sharding": ("sharding", "fan-out"),
     }.items():
         deltas = comparison.get(block)
         if deltas:

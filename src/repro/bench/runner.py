@@ -73,6 +73,17 @@ class BenchConfig:
     #: Control windows of the autoscale block's horizon (each one
     #: ``serve_duration_s`` long).
     autoscale_windows: int = 12
+    #: Sharding strategy of the v5 sharding block (the first swept model
+    #: sharded across ``sharding_nodes`` replicas of the first swept
+    #: backend); ``"auto"`` enumerates every registered strategy, the
+    #: empty string disables the block (``"sharding": null``).
+    sharding_strategy: str = "auto"
+    #: Node count of the sharding block's homogeneous cluster.
+    sharding_nodes: int = 4
+    #: Per-node DRAM cap (GB) of the sharding block — small enough that
+    #: the first swept model cannot fit on one node, so the plan is a
+    #: real multi-owner shard even for the CI-sized models.
+    sharding_node_gb: float = 0.5
     #: Artifact name: the sweep writes ``BENCH_<name>.json``.
     name: str = "full"
 
@@ -137,6 +148,16 @@ class BenchConfig:
                 f"autoscale_windows must be positive, got "
                 f"{self.autoscale_windows}"
             )
+        if self.sharding_nodes <= 0:
+            raise ValueError(
+                f"sharding_nodes must be positive, got "
+                f"{self.sharding_nodes}"
+            )
+        if self.sharding_node_gb <= 0:
+            raise ValueError(
+                f"sharding_node_gb must be positive, got "
+                f"{self.sharding_node_gb}"
+            )
         if not _NAME_RE.match(self.name):
             raise ValueError(
                 f"name must match {_NAME_RE.pattern}, got {self.name!r}"
@@ -200,6 +221,18 @@ def _check_names(config: BenchConfig) -> None:
         raise ValueError(
             f"unknown autoscale_policy {config.autoscale_policy!r}; "
             f"registered: {sorted(available_scalers())}"
+        )
+    from repro.distplan import AUTO_STRATEGY, available_strategies
+
+    if (
+        config.sharding_strategy
+        and config.sharding_strategy != AUTO_STRATEGY
+        and config.sharding_strategy not in available_strategies()
+    ):
+        raise ValueError(
+            f"unknown sharding_strategy {config.sharding_strategy!r}; "
+            f"registered: {sorted(available_strategies())} "
+            f"(or {AUTO_STRATEGY!r})"
         )
 
 
@@ -295,6 +328,65 @@ def _bench_autoscale(config: BenchConfig) -> dict[str, object] | None:
         "windows": config.autoscale_windows,
         "slo_ms": config.slo_ms,
         "result": result.as_dict(),
+    }
+
+
+def _bench_sharding(config: BenchConfig) -> dict[str, object] | None:
+    """The v5 sharded-fleet block: one fan-out serve per sweep.
+
+    The first swept model sharded across ``sharding_nodes`` replicas of
+    the first swept backend, each capped at ``sharding_node_gb`` of DRAM
+    so even the CI-sized models cannot fit on one node and the planner
+    must emit a real multi-owner plan.  Served at a fixed fraction of
+    the fan-out capacity — enough for ``--compare`` to track blended
+    tail latency, fan-out, and peak node occupancy across commits.
+    """
+    if not config.sharding_strategy:
+        return None
+    from repro.cluster import ReplicaSpec
+    from repro.distplan import AUTO_STRATEGY, deploy_sharded
+    from repro.serving.arrivals import poisson_arrivals
+    from repro.serving.lab import lab_seed
+
+    import numpy as np
+
+    model_name = config.models[0]
+    backend = config.resolved_backends()[0]
+    strategy = (
+        None
+        if config.sharding_strategy == AUTO_STRATEGY
+        else config.sharding_strategy
+    )
+    cluster = deploy_sharded(
+        model_name,
+        [ReplicaSpec(backend=backend, count=config.sharding_nodes)],
+        strategy,
+        slo_ms=config.slo_ms,
+        max_rows=config.max_rows,
+        seed=config.seed,
+        node_capacity_bytes=int(config.sharding_node_gb * 1024**3),
+    )
+    rate = (
+        config.cluster_utilisation
+        * cluster.perf().throughput_items_per_s
+    )
+    rng = np.random.default_rng(
+        lab_seed(config.seed, cluster.backend, "bench-sharding")
+    )
+    arrivals = poisson_arrivals(rng, rate, config.serve_duration_s)
+    result = cluster.serve(arrivals)
+    return {
+        "model": model_name,
+        "tiers": [f"{backend}:{config.sharding_nodes}"],
+        "strategy": cluster.plan.strategy,
+        "nodes": config.sharding_nodes,
+        "node_gb": config.sharding_node_gb,
+        "rate_per_s": rate,
+        "utilisation": config.cluster_utilisation,
+        "duration_s": config.serve_duration_s,
+        "slo_ms": config.slo_ms,
+        "plan": cluster.plan.as_dict(),
+        "result": result.as_dict(config.slo_ms),
     }
 
 
@@ -402,6 +494,17 @@ def run_bench(
                 else "no static baseline"
             )
         )
+    sharding_block = _bench_sharding(config)
+    if sharding_block is not None:
+        blended = sharding_block["result"]["blended"]
+        plan = sharding_block["plan"]
+        emit(
+            f"bench sharding {sharding_block['tiers'][0]} "
+            f"({sharding_block['strategy']}): "
+            f"fan-out {plan['fanout']}, "
+            f"p99 {blended['p99_ms']:.3f} ms, "
+            f"peak node {plan['max_node_utilisation']:.1%} full"
+        )
     payload: dict[str, object] = {
         "suite": SUITE,
         "schema_version": SCHEMA_VERSION,
@@ -423,10 +526,14 @@ def run_bench(
             "cluster_utilisation": config.cluster_utilisation,
             "autoscale_policy": config.autoscale_policy,
             "autoscale_windows": config.autoscale_windows,
+            "sharding_strategy": config.sharding_strategy,
+            "sharding_nodes": config.sharding_nodes,
+            "sharding_node_gb": config.sharding_node_gb,
         },
         "results": results,
         "cluster": cluster_block,
         "autoscale": autoscale_block,
+        "sharding": sharding_block,
         "wall_clock_s": time.perf_counter() - started,
     }
     return validate_payload(payload)

@@ -29,8 +29,12 @@ from typing import Sequence
 #: ``autoscale`` block (an elastic fleet driven through a diurnal trace
 #: by a scaler policy: per-window timeline, blended cost, and the
 #: peak-sized static baseline; null when the sweep disabled it) and the
-#: autoscale knobs in ``config``.
-SCHEMA_VERSION = 4
+#: autoscale knobs in ``config``.  v5 added the top-level ``sharding``
+#: block (one model sharded across a cluster's nodes by the distplan
+#: planner and served fan-out/gather: the capacity-validated plan with
+#: per-node occupancy plus the fan-out serving result; null when the
+#: sweep disabled it) and the sharding knobs in ``config``.
+SCHEMA_VERSION = 5
 
 #: The ``suite`` discriminator: distinguishes our artifacts from any other
 #: JSON a pipeline might hand the validator.
@@ -215,6 +219,18 @@ def _check_config(config: object, path: str) -> None:
             f"expected a string, got {policy!r}",
         )
     _check_int(config, path, "autoscale_windows", minimum=1)
+    # v5 sharding knobs: an empty strategy string means the sweep
+    # disabled the sharding block (and ``$.sharding`` must then be null).
+    strategy = _get(config, path, "sharding_strategy")
+    if not isinstance(strategy, str):
+        _fail(
+            f"{path}.sharding_strategy",
+            f"expected a string, got {strategy!r}",
+        )
+    _check_int(config, path, "sharding_nodes", minimum=1)
+    _check_number(
+        config, path, "sharding_node_gb", minimum=0, exclusive=True
+    )
 
 
 def _check_perf(perf: object, path: str) -> None:
@@ -338,21 +354,10 @@ def _check_cluster_tier(tier: object, path: str) -> None:
         _check_fraction(tier, path, "sla_attainment")
 
 
-def _check_cluster(cluster: object, path: str) -> None:
-    """The v3 routed-cluster block: blended + per-tier serving stats."""
-    if not isinstance(cluster, dict):
-        _fail(path, f"expected an object, got {cluster!r}")
-    _check_str(cluster, path, "model")
-    _check_str_list(cluster, path, "tiers")
-    _check_str(cluster, path, "router")
-    _check_number(cluster, path, "rate_per_s", minimum=0, exclusive=True)
-    _check_number(cluster, path, "utilisation", minimum=0, exclusive=True)
-    _check_number(cluster, path, "duration_s", minimum=0, exclusive=True)
-    _check_number(cluster, path, "slo_ms", minimum=0, exclusive=True)
-    result = _get(cluster, path, "result")
+def _check_cluster_result(result: object, rpath: str) -> None:
+    """A blended + per-tier serving result (cluster and sharding blocks)."""
     if not isinstance(result, dict):
-        _fail(f"{path}.result", f"expected an object, got {result!r}")
-    rpath = f"{path}.result"
+        _fail(rpath, f"expected an object, got {result!r}")
     _check_str(result, rpath, "router")
     queries = _get(result, rpath, "queries")
     if isinstance(queries, bool) or not isinstance(queries, int) or queries <= 0:
@@ -377,6 +382,20 @@ def _check_cluster(cluster: object, path: str) -> None:
         _check_cluster_tier(tier, f"{rpath}.tiers.{name}")
     _check_number(result, rpath, "usd_per_hour", minimum=0, exclusive=True)
     _check_number(result, rpath, "usd_per_million_queries", minimum=0)
+
+
+def _check_cluster(cluster: object, path: str) -> None:
+    """The v3 routed-cluster block: blended + per-tier serving stats."""
+    if not isinstance(cluster, dict):
+        _fail(path, f"expected an object, got {cluster!r}")
+    _check_str(cluster, path, "model")
+    _check_str_list(cluster, path, "tiers")
+    _check_str(cluster, path, "router")
+    _check_number(cluster, path, "rate_per_s", minimum=0, exclusive=True)
+    _check_number(cluster, path, "utilisation", minimum=0, exclusive=True)
+    _check_number(cluster, path, "duration_s", minimum=0, exclusive=True)
+    _check_number(cluster, path, "slo_ms", minimum=0, exclusive=True)
+    _check_cluster_result(_get(cluster, path, "result"), f"{path}.result")
 
 
 def _check_int(
@@ -487,6 +506,57 @@ def _check_autoscale(autoscale: object, path: str) -> None:
         _check_fraction(static, spath, "sla_attainment")
 
 
+def _check_plan_node(node: object, path: str) -> None:
+    if not isinstance(node, dict):
+        _fail(path, f"expected an object, got {node!r}")
+    _check_int(node, path, "node")
+    _check_str(node, path, "backend")
+    _check_number(node, path, "capacity_gb", minimum=0, exclusive=True)
+    _check_number(node, path, "bytes", minimum=0)
+    _check_fraction(node, path, "utilisation")
+    _check_int(node, path, "shards")
+
+
+def _check_plan(plan: object, path: str) -> None:
+    """A distplan :class:`~repro.distplan.plan.ShardingPlan` summary."""
+    if not isinstance(plan, dict):
+        _fail(path, f"expected an object, got {plan!r}")
+    _check_str(plan, path, "model")
+    _check_str(plan, path, "strategy")
+    _check_number(plan, path, "total_gb", minimum=0, exclusive=True)
+    _check_int(plan, path, "fanout", minimum=1)
+    _check_int(plan, path, "shards", minimum=1)
+    _check_int(plan, path, "sharded_tables")
+    # A valid plan never overflows a node, so max utilisation is a
+    # fraction — the capacity check is re-asserted here on the artifact.
+    _check_fraction(plan, path, "max_node_utilisation")
+    nodes = _get(plan, path, "nodes")
+    if not isinstance(nodes, list) or not nodes:
+        _fail(f"{path}.nodes", f"expected a non-empty list, got {nodes!r}")
+    for i, node in enumerate(nodes):
+        _check_plan_node(node, f"{path}.nodes[{i}]")
+
+
+def _check_sharding(sharding: object, path: str) -> None:
+    """The v5 sharded-serving block: plan + fan-out serving result."""
+    if not isinstance(sharding, dict):
+        _fail(path, f"expected an object, got {sharding!r}")
+    _check_str(sharding, path, "model")
+    _check_str_list(sharding, path, "tiers")
+    _check_str(sharding, path, "strategy")
+    _check_int(sharding, path, "nodes", minimum=1)
+    _check_number(sharding, path, "node_gb", minimum=0, exclusive=True)
+    _check_number(sharding, path, "rate_per_s", minimum=0, exclusive=True)
+    _check_number(sharding, path, "utilisation", minimum=0, exclusive=True)
+    _check_number(sharding, path, "duration_s", minimum=0, exclusive=True)
+    _check_number(sharding, path, "slo_ms", minimum=0, exclusive=True)
+    _check_plan(_get(sharding, path, "plan"), f"{path}.plan")
+    result = _get(sharding, path, "result")
+    _check_cluster_result(result, f"{path}.result")
+    _check_int(result, f"{path}.result", "fanout", minimum=1)
+    _check_str(result, f"{path}.result", "strategy")
+
+
 def _check_result(result: object, path: str) -> None:
     if not isinstance(result, dict):
         _fail(path, f"expected an object, got {result!r}")
@@ -555,6 +625,11 @@ def validate_payload(payload: object) -> dict:
         # Same contract as the cluster block: opt-out-able via
         # autoscale_policy="", but the key itself must exist.
         _check_autoscale(autoscale, "$.autoscale")
+    sharding = _get(payload, "$", "sharding")
+    if sharding is not None:
+        # Same contract again: opt-out-able via sharding_strategy="",
+        # but the key itself must exist.
+        _check_sharding(sharding, "$.sharding")
     results = _get(payload, "$", "results")
     if not isinstance(results, list) or not results:
         _fail("$.results", f"expected a non-empty list, got {results!r}")

@@ -8,17 +8,20 @@ Usage::
     repro fleet MODEL QPS [options]        # size fleets for a target load
     repro serve MODEL [options]            # latency-under-load serving lab
     repro cluster MODEL [options]          # routed heterogeneous cluster
+    repro plan-shards MODEL [options]      # shard one model across nodes
     repro autoscale MODEL [options]        # elastic fleet through a trace
     repro bench [options]                  # backend x model x batch sweep
     repro info                             # library / model overview
 
 (Also runnable as ``python -m repro``.)  ``MODEL`` is a registered model
 name; ``--backend`` selects a registered inference backend, ``--router``
-(on ``cluster``) a registered routing policy, and ``--policy`` (on
-``autoscale``) a registered scaler policy — the ``--help`` epilog lists
-the registries live, so third-party plugins show up automatically.
+(on ``cluster``) a registered routing policy, ``--policy`` (on
+``autoscale``) a registered scaler policy, and ``--strategy`` (on
+``plan-shards``) a registered sharding strategy — the ``--help`` epilog
+lists the registries live, so third-party plugins show up automatically.
 ``--json`` on ``plan``/``infer``/``fleet``/``serve``/``cluster``/
-``autoscale``/``bench``/``info`` emits machine-readable output for
+``plan-shards``/``autoscale``/``bench``/``info`` emits machine-readable
+output for
 scripting: with ``--json``, stdout carries *only* the JSON document
 (progress goes to stderr), so the output pipes straight into ``python -m
 json.tool``.
@@ -509,6 +512,107 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_plan_shards(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.distplan import (
+        ShardingPlanError,
+        UnknownShardingStrategyError,
+        deploy_sharded,
+    )
+    from repro.runtime import UnknownBackendError
+    from repro.serving.arrivals import arrivals_for
+    from repro.serving.lab import lab_seed
+
+    if (rc := _check_model(args.model)) is not None:
+        return rc
+    tier_texts = args.tier or ["fpga:4"]
+    try:
+        specs = [_parse_tier(text, args.model) for text in tier_texts]
+    except ValueError as exc:
+        return _fail(str(exc))
+    for text, spec in zip(tier_texts, specs):
+        if spec.model != args.model:
+            return _fail(
+                f"plan-shards serves one model across the cluster; "
+                f"--tier {text!r} names a different model "
+                f"({spec.model!r} != {args.model!r})"
+            )
+    node_capacity = (
+        int(args.node_gb * 1024**3) if args.node_gb is not None else None
+    )
+    if node_capacity is not None and node_capacity <= 0:
+        return _fail(f"--node-gb must be positive, got {args.node_gb}")
+    try:
+        cluster = deploy_sharded(
+            args.model,
+            specs,
+            args.strategy,
+            slo_ms=args.slo_ms,
+            max_rows=args.max_rows,
+            seed=args.seed,
+            node_capacity_bytes=node_capacity,
+        )
+    except (
+        UnknownShardingStrategyError,
+        ShardingPlanError,
+        UnknownBackendError,
+        ValueError,
+    ) as exc:
+        return _fail(str(exc))
+    capacity = cluster.perf().throughput_items_per_s
+    rate = args.rate if args.rate is not None else args.utilisation * capacity
+    if rate <= 0:
+        return _fail(f"offered rate must be positive, got {rate}")
+    rng = np.random.default_rng(
+        lab_seed(args.seed, cluster.backend, "plan-shards")
+    )
+    try:
+        arrivals = arrivals_for("poisson", rng, rate, args.duration_s)
+        result = cluster.serve(arrivals)
+    except ValueError as exc:
+        return _fail(str(exc))
+    plan = cluster.plan
+    payload = {
+        "model": args.model,
+        "tiers": list(tier_texts),
+        "strategy": plan.strategy,
+        "slo_ms": args.slo_ms,
+        "duration_s": args.duration_s,
+        "seed": args.seed,
+        "rate_per_s": rate,
+        "capacity_per_s": capacity,
+        "plan": plan.as_dict(),
+        "cluster": cluster.summary(),
+        "result": result.as_dict(args.slo_ms),
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(
+        f"sharding plan for {args.model} on {len(cluster)} node(s): "
+        f"strategy {plan.strategy}, fan-out {plan.fanout}, "
+        f"{len(plan.shards)} shard(s) "
+        f"({len(plan.sharded_table_ids())} split table(s)), "
+        f"{plan.as_dict()['total_gb']:.2f} GB total"
+    )
+    for node in payload["plan"]["nodes"]:
+        print(
+            f"  node {node['node']:>3} ({node['backend']:>14}): "
+            f"{node['bytes'] / 1024**3:8.3f} / {node['capacity_gb']:8.2f} GB "
+            f"({node['utilisation']:6.1%})  {node['shards']:4d} shard(s)"
+        )
+    blended = payload["result"]["blended"]
+    print(
+        f"  fan-out serving @ {rate:,.0f}/s for {args.duration_s:g}s "
+        f"({result.count:,} queries): p50 {blended['p50_ms']:8.3f}  "
+        f"p99 {blended['p99_ms']:8.3f} ms  "
+        f"SLA {blended['sla_attainment']:6.1%}  "
+        f"${result.usd_per_million_queries:.4f}/1M"
+    )
+    return 0
+
+
 def _autoscale_trace(
     name: str, rate_per_s: float, duration_s: float, seed: int
 ):
@@ -671,6 +775,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         overrides["autoscale_policy"] = args.autoscale_policy
     if args.autoscale_windows is not None:
         overrides["autoscale_windows"] = args.autoscale_windows
+    if args.no_sharding and args.sharding_strategy:
+        return _fail("--no-sharding and --sharding-strategy are mutually "
+                     "exclusive")
+    if args.no_sharding:
+        overrides["sharding_strategy"] = ""
+    elif args.sharding_strategy:
+        overrides["sharding_strategy"] = args.sharding_strategy
+    if args.sharding_nodes is not None:
+        overrides["sharding_nodes"] = args.sharding_nodes
     if args.batch:
         overrides["batches"] = tuple(args.batch)
     if args.max_rows is not None:
@@ -763,6 +876,7 @@ def _cmd_info(args: argparse.Namespace) -> int:
     import repro
     from repro.autoscale import available_scalers
     from repro.cluster import available_policies
+    from repro.distplan import available_strategies
     from repro.experiments.harness import EXPERIMENTS
     from repro.models.spec import MODEL_FACTORIES
     from repro.runtime import available_backends
@@ -783,6 +897,7 @@ def _cmd_info(args: argparse.Namespace) -> int:
                     "backends": list(available_backends()),
                     "routing_policies": list(available_policies()),
                     "scaler_policies": list(available_scalers()),
+                    "sharding_strategies": list(available_strategies()),
                     "models": models,
                     "experiments": list(EXPERIMENTS),
                 },
@@ -794,6 +909,7 @@ def _cmd_info(args: argparse.Namespace) -> int:
     print(f"\nbackends: {', '.join(available_backends())}")
     print(f"routing policies: {', '.join(available_policies())}")
     print(f"scaler policies: {', '.join(available_scalers())}")
+    print(f"sharding strategies: {', '.join(available_strategies())}")
     print("\nproduction models (+ benchmark family):")
     for name, factory in MODEL_FACTORIES.items():
         m = factory()
@@ -814,6 +930,7 @@ def _registry_epilog() -> str:
     """
     from repro.autoscale import available_scalers
     from repro.cluster import available_policies
+    from repro.distplan import available_strategies
     from repro.models.spec import MODEL_FACTORIES
     from repro.runtime import available_backends
 
@@ -821,7 +938,9 @@ def _registry_epilog() -> str:
         f"registered models: {' | '.join(MODEL_FACTORIES)}\n"
         f"registered backends: {' | '.join(available_backends())}\n"
         f"registered routing policies: {' | '.join(available_policies())}\n"
-        f"registered scaler policies: {' | '.join(available_scalers())}"
+        f"registered scaler policies: {' | '.join(available_scalers())}\n"
+        f"registered sharding strategies: "
+        f"{' | '.join(available_strategies())}"
     )
 
 
@@ -1043,6 +1162,55 @@ def build_parser() -> argparse.ArgumentParser:
     p_cluster.add_argument("--json", action="store_true")
     p_cluster.set_defaults(func=_cmd_cluster)
 
+    from repro.distplan import available_strategies
+
+    p_shards = sub.add_parser(
+        "plan-shards",
+        help="shard one model across a cluster and serve it fan-out/gather",
+        epilog=_registry_epilog(),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    p_shards.add_argument("model", help=_model_help())
+    p_shards.add_argument(
+        "--tier", action="append", default=None, metavar="BACKEND[:COUNT]",
+        help="one node tier (repeatable; default: fpga:4); every node "
+        "hosts shards of MODEL",
+    )
+    p_shards.add_argument(
+        "--strategy", default="auto",
+        help=f"sharding strategy ({' | '.join(available_strategies())}); "
+        "default auto: enumerate all and keep the best-scoring plan",
+    )
+    p_shards.add_argument(
+        "--node-gb", type=float, default=None, metavar="GB",
+        help="override every node's DRAM budget (default: the backend "
+        "family's real capacity, e.g. ~40 GB per fpga board)",
+    )
+    p_shards.add_argument(
+        "--utilisation", type=float, default=0.6, metavar="FRAC",
+        help="offered load as a fraction of fan-out capacity (default 0.6)",
+    )
+    p_shards.add_argument(
+        "--rate", type=float, default=None, metavar="QPS",
+        help="absolute offered rate in queries/s (overrides --utilisation)",
+    )
+    p_shards.add_argument(
+        "--slo-ms", type=float, default=30.0,
+        help="latency SLO (default 30 ms — 'tens of milliseconds', sec. 1)",
+    )
+    p_shards.add_argument(
+        "--duration-s", type=float, default=0.2,
+        help="simulated serving window (default 0.2 s)",
+    )
+    p_shards.add_argument(
+        "--max-rows", type=int, default=None,
+        help="row-cap tables before deployment (planning still uses the "
+        "full model spec)",
+    )
+    p_shards.add_argument("--seed", type=int, default=0)
+    p_shards.add_argument("--json", action="store_true")
+    p_shards.set_defaults(func=_cmd_plan_shards)
+
     from repro.autoscale import available_scalers
     from repro.serving.arrivals import TRACE_SHAPES
 
@@ -1155,6 +1323,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument(
         "--no-autoscale", action="store_true",
         help='omit the autoscale block ("autoscale": null in the artifact)',
+    )
+    p_bench.add_argument(
+        "--sharding-strategy", default=None, metavar="NAME",
+        help="strategy of the v5 sharding block (default auto: the "
+        "planner enumerates every registered strategy)",
+    )
+    p_bench.add_argument(
+        "--sharding-nodes", type=int, default=None, metavar="N",
+        help="node count of the sharding block (default 4)",
+    )
+    p_bench.add_argument(
+        "--no-sharding", action="store_true",
+        help='omit the sharding block ("sharding": null in the artifact)',
     )
     p_bench.add_argument(
         "--max-rows", type=int, default=None,

@@ -41,9 +41,23 @@ class ShardMap:
 
     def shard_for_row(self, original_id: int, row: int) -> ShardInfo:
         shards = self.shards_of[original_id]
-        for info in shards:
+        if row >= 0:
+            # :func:`shard_spec` emits equal-width shards (the last may be
+            # ragged), so every offset is an exact multiple of the first
+            # shard's width and the owner is ``row // width``.
+            width = shards[0].shard_spec.rows
+            owner = min(row // width, len(shards) - 1)
+            info = shards[owner]
             if info.row_offset <= row < info.row_offset + info.shard_spec.rows:
                 return info
+            # Hand-built maps may be ragged anywhere; fall back to a scan.
+            for info in shards:
+                if (
+                    info.row_offset
+                    <= row
+                    < info.row_offset + info.shard_spec.rows
+                ):
+                    return info
         raise IndexError(
             f"row {row} out of range for sharded table {original_id}"
         )

@@ -1,0 +1,77 @@
+"""Distributed sharding planner: one model across a cluster's nodes.
+
+The cluster layer (:mod:`repro.cluster`) replicates one whole model per
+node, bounding the largest servable model by one node's DRAM.  This
+package removes the bound: a torchrec-style planner
+(:func:`plan_sharding`) enumerates table-wise / row-wise / column-wise
+placements from a strategy registry, scores them with the per-backend
+cost models, and emits a capacity-validated :class:`ShardingPlan`;
+:class:`ShardedCluster` (via :func:`deploy_sharded`) then serves the
+plan with fan-out/gather lookups that stay byte-identical to the
+unsharded model.
+"""
+
+from repro.distplan.cluster import (
+    FANOUT_ROUTER,
+    ShardedCluster,
+    ShardedServingResult,
+    deploy_sharded,
+)
+from repro.distplan.executor import ShardedLookup, sharded_lookup_for
+from repro.distplan.plan import (
+    PlanScore,
+    ShardingPlan,
+    ShardingPlanError,
+    TableShard,
+)
+from repro.distplan.planner import (
+    AUTO_STRATEGY,
+    default_gather_ns,
+    plan_sharding,
+    score_plan,
+)
+from repro.distplan.strategies import (
+    ColumnWiseStrategy,
+    RowWiseStrategy,
+    ShardingStrategy,
+    TableWiseStrategy,
+    UnknownShardingStrategyError,
+    available_strategies,
+    get_strategy,
+    register_strategy,
+)
+from repro.distplan.topology import (
+    NODE_DRAM_BYTES,
+    NodeView,
+    cluster_topology,
+    node_capacity_bytes,
+)
+
+__all__ = [
+    "AUTO_STRATEGY",
+    "ColumnWiseStrategy",
+    "FANOUT_ROUTER",
+    "NODE_DRAM_BYTES",
+    "NodeView",
+    "PlanScore",
+    "RowWiseStrategy",
+    "ShardedCluster",
+    "ShardedLookup",
+    "ShardedServingResult",
+    "ShardingPlan",
+    "ShardingPlanError",
+    "ShardingStrategy",
+    "TableShard",
+    "TableWiseStrategy",
+    "UnknownShardingStrategyError",
+    "available_strategies",
+    "cluster_topology",
+    "default_gather_ns",
+    "deploy_sharded",
+    "get_strategy",
+    "node_capacity_bytes",
+    "plan_sharding",
+    "register_strategy",
+    "score_plan",
+    "sharded_lookup_for",
+]

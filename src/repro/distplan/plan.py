@@ -1,0 +1,251 @@
+"""Sharding plans: who owns which slice of which embedding table.
+
+A :class:`ShardingPlan` is the planner's output artifact — a placement
+of every table of one model onto the nodes of a cluster, sliced by rows
+and/or embedding columns.  It is pure bookkeeping: deterministic,
+JSON-serialisable, and validated against per-node DRAM budgets before
+anything executes it (:meth:`ShardingPlan.validate`).  The executor
+(:mod:`repro.distplan.executor`) turns a plan into byte-identical
+fan-out/gather lookups; the sharded cluster
+(:mod:`repro.distplan.cluster`) turns it into fan-out-aware serving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.distplan.topology import NodeView
+
+GIB = 1024 * 1024 * 1024
+
+
+class ShardingPlanError(ValueError):
+    """A model (or one of its tables) cannot be placed on the cluster."""
+
+
+@dataclass(frozen=True)
+class TableShard:
+    """One contiguous (rows x columns) slice of a table, on one node."""
+
+    original_id: int
+    #: Index of the owning node in the planner's node list.
+    node: int
+    row_start: int
+    rows: int
+    dim_start: int
+    dim: int
+    dtype_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.dim <= 0:
+            raise ValueError(
+                f"table {self.original_id}: shard extents must be "
+                f"positive, got rows={self.rows}, dim={self.dim}"
+            )
+        if self.row_start < 0 or self.dim_start < 0:
+            raise ValueError(
+                f"table {self.original_id}: shard offsets must be >= 0"
+            )
+        if self.node < 0:
+            raise ValueError(
+                f"table {self.original_id}: node index must be >= 0"
+            )
+
+    @property
+    def nbytes(self) -> int:
+        return self.rows * self.dim * self.dtype_bytes
+
+
+@dataclass(frozen=True)
+class PlanScore:
+    """How the planner ranked one candidate plan.
+
+    ``predicted_latency_ms`` is the fan-out completion estimate: the
+    slowest shard owner's serving latency plus one gather step per
+    additional owner.  ``usd_per_hour`` sums the owners' node rates;
+    ``imbalance`` is max-over-mean node occupancy (1.0 = perfectly
+    even).
+    """
+
+    predicted_latency_ms: float
+    usd_per_hour: float
+    max_utilisation: float
+    imbalance: float
+    shards: int
+
+    def key(self) -> tuple[float, float, float, int]:
+        """Deterministic ranking key: latency, then cost, then balance."""
+        return (
+            round(self.predicted_latency_ms, 9),
+            round(self.usd_per_hour, 9),
+            round(self.imbalance, 9),
+            self.shards,
+        )
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "predicted_latency_ms": self.predicted_latency_ms,
+            "usd_per_hour": self.usd_per_hour,
+            "max_utilisation": self.max_utilisation,
+            "imbalance": self.imbalance,
+            "shards": self.shards,
+        }
+
+
+@dataclass(frozen=True)
+class ShardingPlan:
+    """A complete placement of one model across a cluster's nodes."""
+
+    model: str
+    strategy: str
+    shards: tuple[TableShard, ...]
+    nodes: tuple[NodeView, ...]
+    score: PlanScore | None = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.shards:
+            raise ValueError(f"{self.model}: a plan needs at least one shard")
+        if not self.nodes:
+            raise ValueError(f"{self.model}: a plan needs at least one node")
+
+    # -- aggregates ---------------------------------------------------------
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(s.nbytes for s in self.shards)
+
+    def node_bytes(self) -> tuple[int, ...]:
+        """Embedding bytes resident on each node (aligned with nodes)."""
+        out = [0] * len(self.nodes)
+        for shard in self.shards:
+            out[shard.node] += shard.nbytes
+        return tuple(out)
+
+    def node_utilisation(self) -> tuple[float, ...]:
+        return tuple(
+            used / node.capacity_bytes
+            for used, node in zip(self.node_bytes(), self.nodes)
+        )
+
+    def owner_nodes(self) -> tuple[int, ...]:
+        """Sorted distinct node indices holding at least one shard."""
+        return tuple(sorted({s.node for s in self.shards}))
+
+    @property
+    def fanout(self) -> int:
+        """Nodes a single inference touches (all-to-all lookup rounds).
+
+        Every query looks up every table, so the fan-out set is every
+        shard-owning node; the gather completes when the slowest owner
+        answers.
+        """
+        return len(self.owner_nodes())
+
+    def shards_of(self, table_id: int) -> tuple[TableShard, ...]:
+        found = tuple(
+            sorted(
+                (s for s in self.shards if s.original_id == table_id),
+                key=lambda s: (s.row_start, s.dim_start),
+            )
+        )
+        if not found:
+            raise KeyError(
+                f"{self.model}: no shards for table {table_id} in this plan"
+            )
+        return found
+
+    def sharded_table_ids(self) -> tuple[int, ...]:
+        """Tables split into more than one shard, sorted by id."""
+        counts: dict[int, int] = {}
+        for shard in self.shards:
+            counts[shard.original_id] = counts.get(shard.original_id, 0) + 1
+        return tuple(sorted(t for t, n in counts.items() if n > 1))
+
+    # -- validation ---------------------------------------------------------
+
+    def validate(self) -> "ShardingPlan":
+        """Reject plans that overflow any node's DRAM budget.
+
+        Returns the plan so validation chains at construction sites.
+        Raises :class:`ShardingPlanError` naming the first overflowing
+        node, its assigned bytes, and its capacity.
+        """
+        for node, used in zip(self.nodes, self.node_bytes()):
+            if used > node.capacity_bytes:
+                raise ShardingPlanError(
+                    f"{self.model}: plan ({self.strategy}) assigns "
+                    f"{used} B to node {node.index} ({node.backend}), "
+                    f"exceeding its capacity of {node.capacity_bytes} B"
+                )
+        for shard in self.shards:
+            if shard.node >= len(self.nodes):
+                raise ShardingPlanError(
+                    f"{self.model}: shard of table {shard.original_id} "
+                    f"targets node {shard.node}, but the cluster has "
+                    f"{len(self.nodes)} nodes"
+                )
+        return self
+
+    # -- reporting ----------------------------------------------------------
+
+    def as_dict(self) -> dict[str, object]:
+        """Deterministic JSON summary (CLI ``--json`` / bench v5 block)."""
+        used = self.node_bytes()
+        utilisation = self.node_utilisation()
+        shard_counts = [0] * len(self.nodes)
+        for shard in self.shards:
+            shard_counts[shard.node] += 1
+        out: dict[str, object] = {
+            "model": self.model,
+            "strategy": self.strategy,
+            "total_gb": self.total_bytes / GIB,
+            "fanout": self.fanout,
+            "shards": len(self.shards),
+            "sharded_tables": len(self.sharded_table_ids()),
+            "max_node_utilisation": max(utilisation),
+            "nodes": [
+                {
+                    "node": node.index,
+                    "backend": node.backend,
+                    "capacity_gb": node.capacity_bytes / GIB,
+                    "bytes": used[i],
+                    "utilisation": utilisation[i],
+                    "shards": shard_counts[i],
+                }
+                for i, node in enumerate(self.nodes)
+            ],
+        }
+        if self.score is not None:
+            out["score"] = self.score.as_dict()
+        return out
+
+
+def check_tables_fit(
+    model_name: str,
+    tables: Sequence,
+    nodes: Sequence[NodeView],
+) -> None:
+    """Pre-flight capacity checks shared by every strategy.
+
+    Raises :class:`ShardingPlanError` naming the offending table, its
+    bytes, and the total cluster capacity — the same
+    fix-is-in-the-message convention as
+    :class:`~repro.runtime.backend.UnknownBackendError`.
+    """
+    total_capacity = sum(node.capacity_bytes for node in nodes)
+    for table in tables:
+        if table.nbytes > total_capacity:
+            raise ShardingPlanError(
+                f"{model_name}: table {table.table_id} needs "
+                f"{table.nbytes} B, exceeding the cluster's total DRAM "
+                f"capacity of {total_capacity} B across {len(nodes)} "
+                f"node(s)"
+            )
+    model_bytes = sum(table.nbytes for table in tables)
+    if model_bytes > total_capacity:
+        raise ShardingPlanError(
+            f"{model_name}: model needs {model_bytes} B, exceeding the "
+            f"cluster's total DRAM capacity of {total_capacity} B "
+            f"across {len(nodes)} node(s)"
+        )

@@ -1,0 +1,157 @@
+"""The cluster-level sharding planner: enumerate, score, partition.
+
+The single-node planner (:mod:`repro.core.planner`) packs one model into
+one FPGA's banks; this module is its cluster-scale sibling, shaped after
+torchrec's ``EmbeddingShardingPlanner`` (enumerator -> proposer ->
+perf-model -> partitioner):
+
+1. **Enumerate** — every registered strategy (or the one requested)
+   proposes a candidate placement of the model's tables onto the
+   cluster's nodes.
+2. **Score** — each feasible candidate is priced with the same
+   :class:`~repro.runtime.perf.PerfEstimate` numbers the router sees:
+   the fan-out completion estimate is the slowest shard owner's serving
+   latency plus one DRAM-initiation-scale gather step per additional
+   owner (the gather unit merges one more partial result per owner,
+   costing one access round like the bank latencies in
+   :mod:`repro.core.planner`), and cost sums the owners' hourly rates.
+3. **Partition** — the best-scoring candidate wins (latency, then cost,
+   then balance — a deterministic lexicographic key), and is validated
+   against every node's DRAM budget before being returned.
+
+Infeasibility is an error, never a silent fallback: a table larger than
+the whole cluster raises :class:`~repro.distplan.plan.ShardingPlanError`
+naming the table, its bytes, and the total cluster capacity.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.distplan.plan import (
+    PlanScore,
+    ShardingPlan,
+    ShardingPlanError,
+    TableShard,
+    check_tables_fit,
+)
+from repro.distplan.strategies import available_strategies, get_strategy
+from repro.distplan.topology import NodeView
+from repro.memory.timing import default_timing_model
+from repro.models.spec import ModelSpec, resolve_model
+
+#: Pseudo-strategy name asking the planner to enumerate every registered
+#: strategy and keep the best-scoring feasible plan.
+AUTO_STRATEGY = "auto"
+
+
+def default_gather_ns() -> float:
+    """Per-extra-owner gather cost: one DRAM initiation (~313 ns).
+
+    Merging one more owner's partial result is one more access round at
+    the gather unit — priced like the calibrated DRAM round-trip
+    initiation the single-node planner charges per bank access.
+    """
+    return default_timing_model().dram_init_ns
+
+
+def score_plan(
+    shards: Sequence[TableShard],
+    nodes: Sequence[NodeView],
+    *,
+    gather_ns: float,
+) -> PlanScore:
+    """Price one candidate placement with the nodes' cost models."""
+    owners = sorted({s.node for s in shards})
+    latency_ms = max(nodes[i].serving_latency_ms for i in owners)
+    latency_ms += gather_ns * (len(owners) - 1) / 1e6
+    used = [0] * len(nodes)
+    for shard in shards:
+        used[shard.node] += shard.nbytes
+    occupied = [b for b in used if b]
+    mean_bytes = sum(occupied) / len(occupied)
+    return PlanScore(
+        predicted_latency_ms=latency_ms,
+        usd_per_hour=sum(nodes[i].usd_per_hour for i in owners),
+        max_utilisation=max(
+            used[i] / nodes[i].capacity_bytes for i in range(len(nodes))
+        ),
+        imbalance=max(occupied) / mean_bytes,
+        shards=len(shards),
+    )
+
+
+def plan_sharding(
+    model: ModelSpec | str,
+    nodes: Sequence[NodeView],
+    strategy: str | None = None,
+    *,
+    gather_ns: float | None = None,
+) -> ShardingPlan:
+    """Plan one model's tables across a cluster's nodes.
+
+    Parameters
+    ----------
+    model:
+        A :class:`~repro.models.spec.ModelSpec` or registered model
+        name.  Planning happens on the *full* spec — capacity
+        feasibility is judged on real table sizes even when the serving
+        sessions are row-capped.
+    nodes:
+        The cluster topology (:func:`repro.distplan.cluster_topology`
+        derives it from a live cluster).
+    strategy:
+        A registered strategy name to use alone, or ``None`` /
+        ``"auto"`` to enumerate every registered strategy and keep the
+        best-scoring feasible plan.  Unknown names raise
+        :class:`~repro.distplan.strategies.UnknownShardingStrategyError`.
+    gather_ns:
+        Override the per-extra-owner gather cost
+        (:func:`default_gather_ns`).
+
+    Raises
+    ------
+    ShardingPlanError
+        When no requested strategy can place the model — including the
+        pre-flight check that every table fits the *total* cluster
+        capacity, which names the table, its bytes, and the cluster's
+        capacity.
+    """
+    spec = resolve_model(model)
+    if not nodes:
+        raise ValueError("plan_sharding needs at least one node")
+    if gather_ns is None:
+        gather_ns = default_gather_ns()
+    # Pre-flight: fail with the capacity story before any strategy runs.
+    check_tables_fit(spec.name, spec.tables, nodes)
+
+    if strategy is None or strategy == AUTO_STRATEGY:
+        names: Sequence[str] = available_strategies()
+    else:
+        names = (get_strategy(strategy).name,)
+
+    candidates: list[tuple[tuple, str, tuple[TableShard, ...], PlanScore]] = []
+    failures: list[str] = []
+    for name in names:
+        proposer = get_strategy(name)
+        try:
+            shards = proposer.propose(spec.tables, nodes)
+        except ShardingPlanError as exc:
+            failures.append(str(exc))  # proposers name themselves
+            continue
+        score = score_plan(shards, nodes, gather_ns=gather_ns)
+        candidates.append(((*score.key(), name), name, shards, score))
+
+    if not candidates:
+        raise ShardingPlanError(
+            f"{spec.name}: no feasible sharding plan on {len(nodes)} "
+            f"node(s); " + "; ".join(failures)
+        )
+    _, name, shards, score = min(candidates, key=lambda c: c[0])
+    return ShardingPlan(
+        model=spec.name,
+        strategy=name,
+        shards=shards,
+        nodes=tuple(nodes),
+        score=score,
+    ).validate()

@@ -1,0 +1,119 @@
+"""Cluster topology as the sharding planner sees it: nodes with memory.
+
+The per-backend cost models quote latency, throughput, and cost, but say
+nothing about *capacity* — the single-node planner never needed it beyond
+the bank inventory, because the paper's models fit one U280's 40 GB of
+DRAM (see :mod:`repro.deploy.capacity`).  Sharding exists precisely for
+models that do not, so this module gives every backend family a DRAM
+budget:
+
+* ``fpga`` — the U280 memory system itself
+  (:func:`repro.memory.spec.u280_memory_system`): 32 HBM banks + 2 DDR
+  channels, ~40 GiB.  The same spec the single-node planner packs into,
+  so the two layers can never disagree about what fits on a board.
+* ``gpu`` — 16 GiB of V100 HBM2, matching the GPU baseline cost model.
+* ``cpu`` — 192 GiB of host DDR4, a standard 2-socket server build.
+* ``nmp`` — 128 GiB: a DIMM-based near-memory part is capacity-rich by
+  construction (the compute lives on the memory modules).
+
+:class:`NodeView` is the sharding counterpart of
+:class:`~repro.cluster.routing.ReplicaView`: the read-only facts a
+strategy may use about one node.  :func:`cluster_topology` derives the
+views from a live :class:`~repro.cluster.cluster.Cluster`, so plan
+scoring uses the same :class:`~repro.runtime.perf.PerfEstimate` numbers
+the router and fleet planner see.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.memory.spec import GIB, u280_memory_system
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cluster.cluster import Cluster
+
+#: DRAM capacity per backend *family* (the prefix before the first "-",
+#: exactly like :func:`repro.deploy.capacity.accelerator_rate`), so
+#: variants such as ``fpga-compressed`` inherit the board's budget.
+NODE_DRAM_BYTES: dict[str, int] = {
+    "fpga": u280_memory_system().dram_capacity_bytes,
+    "gpu": 16 * GIB,
+    "cpu": 192 * GIB,
+    "nmp": 128 * GIB,
+}
+
+
+def node_capacity_bytes(backend: str) -> int:
+    """DRAM capacity of one node of ``backend``'s family.
+
+    Raises ``ValueError`` naming the known families on an unknown
+    backend, mirroring :func:`repro.deploy.capacity.accelerator_rate`.
+    """
+    family = backend.split("-", 1)[0]
+    try:
+        return NODE_DRAM_BYTES[family]
+    except KeyError:
+        raise ValueError(
+            f"no DRAM capacity for backend {backend!r} (family "
+            f"{family!r}); known families: "
+            f"{', '.join(sorted(NODE_DRAM_BYTES))}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class NodeView:
+    """What a sharding strategy may know about one cluster node."""
+
+    #: Position in the cluster's replica list.
+    index: int
+    backend: str
+    #: DRAM budget available for embedding shards.
+    capacity_bytes: int
+    #: Per-query latency at the serving operating point.
+    serving_latency_ms: float
+    #: Sustained item spacing at capacity (nanoseconds).
+    ii_ns: float
+    usd_per_hour: float
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ValueError(
+                f"node {self.index} ({self.backend}): capacity must be "
+                f"positive, got {self.capacity_bytes}"
+            )
+
+
+def cluster_topology(
+    cluster: "Cluster",
+    *,
+    capacity_override_bytes: int | None = None,
+) -> tuple[NodeView, ...]:
+    """One :class:`NodeView` per replica of a live cluster.
+
+    Latency, item spacing, and cost come from each replica session's
+    :meth:`~repro.runtime.session.Session.perf`; capacity comes from the
+    backend family's DRAM budget, or ``capacity_override_bytes`` applied
+    uniformly (experiments use the override to make small demo models
+    shard without building terabyte clusters).
+    """
+    views = []
+    for i, session in enumerate(cluster.replicas):
+        perf = session.perf()
+        capacity = (
+            capacity_override_bytes
+            if capacity_override_bytes is not None
+            else node_capacity_bytes(session.backend)
+        )
+        views.append(
+            NodeView(
+                index=i,
+                backend=session.backend,
+                capacity_bytes=capacity,
+                serving_latency_ms=perf.serving_latency_ms,
+                ii_ns=perf.ii_ns,
+                usd_per_hour=perf.usd_per_hour,
+            )
+        )
+    return tuple(views)

@@ -20,6 +20,7 @@ from repro.experiments import (
     queuing,
     related_work,
     serving_sla,
+    sharded_fleet,
     table2,
     table3,
     table4,
@@ -42,6 +43,7 @@ EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
     "latency_under_load": latency_under_load.run,
     "heterogeneous_fleet": heterogeneous_fleet.run,
     "elastic_fleet": elastic_fleet.run,
+    "sharded_fleet": sharded_fleet.run,
     "quantization": quantization.run,
     "related_work": related_work.run,
     "compression": compression.run,

@@ -1,0 +1,113 @@
+"""Round-trip and routing tests for :mod:`repro.core.sharding`.
+
+Complements ``test_refine_sharding.py``: full byte-identity round trips
+through ``shard_oversized`` -> ``ShardedTable``, shard-boundary rows,
+ragged last shards, and the O(1) ``shard_for_row`` arithmetic against a
+linear scan (including hand-built ragged maps that must fall back to
+the scan).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.sharding import (
+    ShardedTable,
+    ShardInfo,
+    ShardMap,
+    shard_oversized,
+    shard_spec,
+)
+from repro.core.tables import MaterializedTable, TableSpec, VirtualTable
+
+
+def _slice_tables(original, smap):
+    """Shards as materialised slices of the original (the byte-identical
+    placement; fresh VirtualTables would draw different hash streams)."""
+    full = original.lookup(np.arange(original.spec.rows))
+    tables = {}
+    for info in smap.shards_of[original.spec.table_id]:
+        sl = full[info.row_offset : info.row_offset + info.shard_spec.rows]
+        tables[info.shard_spec.table_id] = MaterializedTable(
+            info.shard_spec, sl
+        )
+    return tables
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("rows", [1000, 997])  # even split and ragged
+    def test_byte_identical_on_every_row(self, rows):
+        spec = TableSpec(3, rows=rows, dim=8)
+        original = VirtualTable(spec, seed=2)
+        _, smap = shard_oversized([spec], max_bytes=spec.nbytes // 4 + 64)
+        assert len(smap.shards_of[3]) > 1
+        sharded = ShardedTable(spec, smap.shards_of[3], _slice_tables(original, smap))
+        idx = np.arange(rows)
+        np.testing.assert_array_equal(
+            sharded.lookup(idx), original.lookup(idx)
+        )
+
+    def test_boundary_rows(self):
+        spec = TableSpec(0, rows=1000, dim=4)
+        original = VirtualTable(spec, seed=0)
+        _, smap = shard_oversized([spec], max_bytes=3 * spec.vector_bytes)
+        sharded = ShardedTable(spec, smap.shards_of[0], _slice_tables(original, smap))
+        # First and last row of every shard, in scrambled order.
+        edges = []
+        for info in smap.shards_of[0]:
+            edges.append(info.row_offset)
+            edges.append(info.row_offset + info.shard_spec.rows - 1)
+        idx = np.array(edges[::-1])
+        np.testing.assert_array_equal(
+            sharded.lookup(idx), original.lookup(idx)
+        )
+
+    def test_ragged_last_shard(self):
+        spec = TableSpec(0, rows=10, dim=1, dtype_bytes=4)
+        infos = shard_spec(spec, max_bytes=16, next_id=1)  # 4+4+2 rows
+        assert [i.shard_spec.rows for i in infos] == [4, 4, 2]
+        assert [i.row_offset for i in infos] == [0, 4, 8]
+        assert sum(i.shard_spec.rows for i in infos) == spec.rows
+
+
+class TestShardForRowParity:
+    def _linear_scan(self, smap, table_id, row):
+        for info in smap.shards_of[table_id]:
+            if info.row_offset <= row < info.row_offset + info.shard_spec.rows:
+                return info
+        return None
+
+    @pytest.mark.parametrize("rows,max_bytes", [(1000, 2000), (997, 1600)])
+    def test_arithmetic_matches_scan_on_every_row(self, rows, max_bytes):
+        spec = TableSpec(0, rows=rows, dim=4)
+        _, smap = shard_oversized([spec], max_bytes=max_bytes)
+        for row in range(rows):
+            assert smap.shard_for_row(0, row) is self._linear_scan(
+                smap, 0, row
+            )
+
+    def test_hand_built_ragged_map_falls_back_to_scan(self):
+        # Widths 7, 2, 5: offsets are not multiples of the first width,
+        # so the O(1) guess misses and the scan must still route right.
+        infos = []
+        offset = 0
+        for sid, rows in enumerate((7, 2, 5)):
+            infos.append(
+                ShardInfo(
+                    shard_spec=TableSpec(10 + sid, rows=rows, dim=4),
+                    original_id=0,
+                    row_offset=offset,
+                )
+            )
+            offset += rows
+        smap = ShardMap(shards_of={0: tuple(infos)})
+        for row in range(offset):
+            assert smap.shard_for_row(0, row) is self._linear_scan(
+                smap, 0, row
+            )
+
+    def test_out_of_range_raises(self):
+        spec = TableSpec(0, rows=100, dim=4)
+        _, smap = shard_oversized([spec], max_bytes=200)
+        for row in (-1, 100, 10_000):
+            with pytest.raises(IndexError, match="out of range"):
+                smap.shard_for_row(0, row)

@@ -31,6 +31,7 @@ class TestHarness:
             "latency_under_load",
             "heterogeneous_fleet",
             "elastic_fleet",
+            "sharded_fleet",
             "quantization",
             "related_work",
             "compression",
@@ -194,3 +195,18 @@ class TestCost:
         for row in results["cost"].rows:
             if str(row["engine"]).startswith("FPGA"):
                 assert row["cost_ratio_vs_cpu"] < 1.0
+
+
+class TestShardedFleet:
+    def test_replication_infeasible_sharding_meets_slo(self, results):
+        rows = {r["fleet"]: r for r in results["sharded_fleet"].rows}
+        replicated = [r for name, r in rows.items() if "replicate" in name]
+        assert replicated and all(r["feasible"] == "no" for r in replicated)
+        (sharded,) = [r for name, r in rows.items() if "sharded" in name]
+        assert sharded["feasible"] == "yes"
+        assert sharded["fanout"] > 1
+        assert sharded["peak_node_util"] <= 1.0
+        from repro.experiments.sharded_fleet import SLO_MS
+
+        assert sharded["p99_ms"] <= SLO_MS
+        assert sharded["sla_attainment"] >= 0.99
