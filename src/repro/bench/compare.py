@@ -8,6 +8,12 @@ for throughput, a regression for latency and cost; the ``regressions``
 helper applies that sign convention, and ``repro bench --compare old.json
 --fail-on-regression [PCT]`` exits non-zero on its output so CI can gate
 on it directly.
+
+Wall-clock budgets (schema v6) gate differently: raw ``wall_clock_s``
+deltas are too noisy to threshold, so a baseline result opts in by
+carrying ``wall_clock_budget_s`` — an explicit absolute ceiling — and the
+comparison flags every fresh result whose measured wall clock exceeds the
+(optionally scaled) ceiling, independent of the percentage threshold.
 """
 
 from __future__ import annotations
@@ -172,14 +178,55 @@ def _by_pair(payload: dict) -> dict[tuple[str, str], dict]:
     }
 
 
-def compare_payloads(old: dict, new: dict) -> dict[str, object]:
+def _wall_clock_entries(
+    old_pairs: dict[tuple[str, str], dict],
+    new_pairs: dict[tuple[str, str], dict],
+    scale: float,
+) -> list[dict[str, object]]:
+    """Budget-vs-measured wall-clock records (schema v6).
+
+    One record per shared pair whose *baseline* result carries a
+    ``wall_clock_budget_s`` ceiling; the fresh run's measured
+    ``wall_clock_s`` is judged against ``scale x budget``.  Budgets are
+    opt-in, so unbudgeted pairs simply produce no record.
+    """
+    entries = []
+    for key in sorted(old_pairs.keys() & new_pairs.keys()):
+        budget = old_pairs[key].get("wall_clock_budget_s")
+        if budget is None:
+            continue
+        measured = new_pairs[key]["wall_clock_s"]
+        entries.append(
+            {
+                "model": key[0],
+                "backend": key[1],
+                "wall_clock_s": measured,
+                "budget_s": budget * scale,
+                "within_budget": measured <= budget * scale,
+            }
+        )
+    return entries
+
+
+def compare_payloads(
+    old: dict, new: dict, *, wall_clock_budget_scale: float = 1.0
+) -> dict[str, object]:
     """Diff two validated payloads into a regression-delta record.
 
     Pairs present in only one payload are listed under ``removed`` /
     ``added`` rather than failing — sweeps legitimately grow backends.
-    Raises :class:`~repro.bench.schema.BenchSchemaError` if either payload
-    does not conform to the schema.
+    ``wall_clock_budget_scale`` multiplies every baseline wall-clock
+    budget before the fresh run is judged against it (CI runners are
+    slower than the laptops budgets were stamped on; the knob loosens the
+    whole fleet without editing the artifact).  Raises
+    :class:`~repro.bench.schema.BenchSchemaError` if either payload does
+    not conform to the schema.
     """
+    if wall_clock_budget_scale <= 0:
+        raise ValueError(
+            f"wall_clock_budget_scale must be positive, got "
+            f"{wall_clock_budget_scale}"
+        )
     validate_payload(old)
     validate_payload(new)
     old_pairs = _by_pair(old)
@@ -232,6 +279,12 @@ def compare_payloads(old: dict, new: dict) -> dict[str, object]:
             _sharding_metrics(new),
             SHARDING_METRICS,
         ),
+        "wall_clock": {
+            "budget_scale": wall_clock_budget_scale,
+            "entries": _wall_clock_entries(
+                old_pairs, new_pairs, wall_clock_budget_scale
+            ),
+        },
         "removed": sorted(
             f"{m}/{b}" for m, b in old_pairs.keys() - new_pairs.keys()
         ),
@@ -244,8 +297,20 @@ def compare_payloads(old: dict, new: dict) -> dict[str, object]:
 def regressions(
     comparison: dict, threshold_pct: float = 5.0
 ) -> list[str]:
-    """Human-readable regression lines worse than ``threshold_pct``."""
+    """Human-readable regression lines worse than ``threshold_pct``.
+
+    Wall-clock budget exceedances are absolute ceilings, not deltas, so
+    they are reported regardless of ``threshold_pct``.
+    """
     lines = []
+    wall_clock = comparison.get("wall_clock") or {}
+    for record in wall_clock.get("entries", ()):
+        if not record["within_budget"]:
+            lines.append(
+                f"{record['model']}/{record['backend']}: wall_clock_s "
+                f"{record['wall_clock_s']:.3f}s exceeds budget "
+                f"{record['budget_s']:.3f}s"
+            )
     entries = list(comparison["entries"])
     for block, (model, backend) in {
         "cluster": ("cluster", "routed"),

@@ -84,6 +84,12 @@ class BenchConfig:
     #: the first swept model cannot fit on one node, so the plan is a
     #: real multi-owner shard even for the CI-sized models.
     sharding_node_gb: float = 0.5
+    #: When set, stamp every result's ``wall_clock_budget_s`` (schema v6)
+    #: at ``multiplier x`` its measured wall clock — the one-command way
+    #: to regenerate a budgeted baseline artifact (pick ~3x so routine
+    #: noise passes and order-of-magnitude slowdowns fail).  ``None``
+    #: leaves results unbudgeted.
+    wall_clock_budget_multiplier: float | None = None
     #: Artifact name: the sweep writes ``BENCH_<name>.json``.
     name: str = "full"
 
@@ -157,6 +163,14 @@ class BenchConfig:
             raise ValueError(
                 f"sharding_node_gb must be positive, got "
                 f"{self.sharding_node_gb}"
+            )
+        if (
+            self.wall_clock_budget_multiplier is not None
+            and self.wall_clock_budget_multiplier <= 0
+        ):
+            raise ValueError(
+                f"wall_clock_budget_multiplier must be positive, got "
+                f"{self.wall_clock_budget_multiplier}"
             )
         if not _NAME_RE.match(self.name):
             raise ValueError(
@@ -457,9 +471,14 @@ def run_bench(
     started = time.perf_counter()
     results = []
     backends = config.resolved_backends()
+    multiplier = config.wall_clock_budget_multiplier
     for model_name in config.models:
         for backend in backends:
             result = _bench_one(model_name, backend, config)
+            if multiplier is not None:
+                result["wall_clock_budget_s"] = (
+                    multiplier * result["wall_clock_s"]
+                )
             perf = result["perf"]
             emit(
                 f"bench {model_name}/{backend}: "
@@ -529,6 +548,9 @@ def run_bench(
             "sharding_strategy": config.sharding_strategy,
             "sharding_nodes": config.sharding_nodes,
             "sharding_node_gb": config.sharding_node_gb,
+            "wall_clock_budget_multiplier": (
+                config.wall_clock_budget_multiplier
+            ),
         },
         "results": results,
         "cluster": cluster_block,

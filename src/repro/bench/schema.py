@@ -33,8 +33,13 @@ from typing import Sequence
 #: block (one model sharded across a cluster's nodes by the distplan
 #: planner and served fan-out/gather: the capacity-validated plan with
 #: per-node occupancy plus the fan-out serving result; null when the
-#: sweep disabled it) and the sharding knobs in ``config``.
-SCHEMA_VERSION = 5
+#: sweep disabled it) and the sharding knobs in ``config``.  v6 added
+#: the optional per-result ``wall_clock_budget_s`` ceiling (absent or
+#: null means unbudgeted): an explicit opt-in wall-clock budget that
+#: ``--compare --fail-on-regression`` enforces as an absolute limit on
+#: the *other* payload's measured ``wall_clock_s``, so a committed
+#: baseline can gate CI runtime without chasing noisy raw deltas.
+SCHEMA_VERSION = 6
 
 #: The ``suite`` discriminator: distinguishes our artifacts from any other
 #: JSON a pipeline might hand the validator.
@@ -586,6 +591,13 @@ def _check_result(result: object, path: str) -> None:
     if planner is not None and not isinstance(planner, dict):
         _fail(f"{path}.planner", f"expected null or an object, got {planner!r}")
     _check_number(result, path, "wall_clock_s", minimum=0)
+    # v6: budgets are opt-in — the key may be absent or null; when set it
+    # is a strictly positive ceiling the perf gate compares wall clocks
+    # against.
+    if result.get("wall_clock_budget_s") is not None:
+        _check_number(
+            result, path, "wall_clock_budget_s", minimum=0, exclusive=True
+        )
 
 
 def validate_payload(payload: object) -> dict:

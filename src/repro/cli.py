@@ -792,6 +792,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         overrides["name"] = args.name
     overrides["seed"] = args.seed
     overrides["target_qps"] = args.qps
+    if args.stamp_wall_clock_budgets is not None:
+        overrides["wall_clock_budget_multiplier"] = (
+            args.stamp_wall_clock_budgets
+        )
     try:
         if args.quick:
             config = BenchConfig.quick_config(**overrides)
@@ -799,6 +803,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             config = BenchConfig(**overrides)
     except ValueError as exc:
         return _fail(str(exc))
+    if args.wall_clock_budget_scale <= 0:
+        return _fail(
+            f"--wall-clock-budget-scale must be positive, got "
+            f"{args.wall_clock_budget_scale:g}"
+        )
 
     # Progress always goes to stderr so that with --json stdout carries
     # only the JSON document (CI pipes it into the schema validator).
@@ -820,7 +829,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             baseline = validate_file(args.compare)
         except BenchSchemaError as exc:
             return _fail(f"--compare baseline rejected: {exc}")
-        payload["comparison"] = compare_payloads(baseline, payload)
+        payload["comparison"] = compare_payloads(
+            baseline,
+            payload,
+            wall_clock_budget_scale=args.wall_clock_budget_scale,
+        )
         threshold = (
             5.0 if args.fail_on_regression is None else args.fail_on_regression
         )
@@ -1364,7 +1377,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--fail-on-regression", nargs="?", type=float, const=5.0,
         default=None, metavar="PCT",
         help="with --compare: exit 1 if any headline metric regresses by "
-        "more than PCT percent (default 5)",
+        "more than PCT percent (default 5), or if any result exceeds a "
+        "wall-clock budget stamped into the baseline",
+    )
+    p_bench.add_argument(
+        "--wall-clock-budget-scale", type=float, default=1.0,
+        metavar="FACTOR",
+        help="with --compare: multiply every baseline wall_clock_budget_s "
+        "by FACTOR before gating (loosen budgets fleet-wide on slow "
+        "runners without editing the baseline; default 1.0)",
+    )
+    p_bench.add_argument(
+        "--stamp-wall-clock-budgets", nargs="?", type=float, const=3.0,
+        default=None, metavar="MULT",
+        help="stamp each result's wall_clock_budget_s at MULT x its "
+        "measured wall clock (default 3) — regenerates a budgeted "
+        "baseline artifact in one command",
     )
     p_bench.add_argument("--json", action="store_true")
     p_bench.set_defaults(func=_cmd_bench)

@@ -199,15 +199,32 @@ class LeastLoadedPolicy:
         *,
         slo_ms: float,
     ) -> np.ndarray:
-        free = _virtual_free(replicas)
-        ii = np.array([r.ii_ns for r in replicas], dtype=np.float64)
-        out = np.empty(arrivals_ns.size, dtype=np.int64)
+        _virtual_free(replicas)  # validates non-empty
+        ii = [float(r.ii_ns) for r in replicas]
+        if len(replicas) == 1:
+            return np.zeros(arrivals_ns.size, dtype=np.int64)
         order = sorted(range(len(replicas)), key=lambda i: (ii[i], i))
-        for k, t in enumerate(arrivals_ns):
-            best = min(order, key=lambda i: max(free[i], t))
-            out[k] = best
-            free[best] = max(free[best], t) + ii[best]
-        return out
+        # Incremental virtual-queue state: ``free`` is carried across
+        # events as plain floats and advanced in place, never recomputed.
+        # The scan keeps the first replica in ``order`` achieving the
+        # strict minimum — the same tie-break as ``min(order, key=...)``.
+        free = [0.0] * len(replicas)
+        out: list[int] = []
+        append = out.append
+        inf = float("inf")
+        for t in arrivals_ns.tolist():
+            best = -1
+            best_start = inf
+            for i in order:
+                start = free[i]
+                if start < t:
+                    start = t
+                if start < best_start:
+                    best_start = start
+                    best = i
+            append(best)
+            free[best] = best_start + ii[best]
+        return np.array(out, dtype=np.int64)
 
 
 class CheapestFirstPolicy:
@@ -236,24 +253,42 @@ class CheapestFirstPolicy:
         *,
         slo_ms: float,
     ) -> np.ndarray:
-        free = _virtual_free(replicas)
-        ii = np.array([r.ii_ns for r in replicas], dtype=np.float64)
+        _virtual_free(replicas)  # validates non-empty
+        ii = [float(r.ii_ns) for r in replicas]
         order = sorted(
             range(len(replicas)),
             key=lambda i: (replicas[i].usd_per_million_queries, i),
         )
         threshold_ns = self.max_backlog_ms * 1e6
-        out = np.empty(arrivals_ns.size, dtype=np.int64)
-        for k, t in enumerate(arrivals_ns):
+        # Incremental running state: per-replica virtual free times are
+        # advanced event by event, never rebuilt by scanning history.
+        free = [0.0] * len(replicas)
+        out: list[int] = []
+        append = out.append
+        inf = float("inf")
+        for t in arrivals_ns.tolist():
+            best = -1
             for i in order:
                 if free[i] - t <= threshold_ns:
                     best = i
                     break
-            else:
-                best = min(order, key=lambda i: max(free[i], t))
-            out[k] = best
-            free[best] = max(free[best], t) + ii[best]
-        return out
+            if best < 0:
+                # Whole fleet past the spill threshold: least-loaded
+                # fallback, first-in-order tie-break.
+                best_start = inf
+                for i in order:
+                    start = free[i]
+                    if start < t:
+                        start = t
+                    if start < best_start:
+                        best_start = start
+                        best = i
+            append(best)
+            start = free[best]
+            if start < t:
+                start = t
+            free[best] = start + ii[best]
+        return np.array(out, dtype=np.int64)
 
 
 class SlaAwarePolicy:
@@ -281,32 +316,46 @@ class SlaAwarePolicy:
     ) -> np.ndarray:
         if slo_ms <= 0:
             raise ValueError(f"slo_ms must be positive, got {slo_ms}")
-        free = _virtual_free(replicas)
-        ii = np.array([r.ii_ns for r in replicas], dtype=np.float64)
-        service_ns = np.array(
-            [r.serving_latency_ms * 1e6 for r in replicas], dtype=np.float64
-        )
+        _virtual_free(replicas)  # validates non-empty
+        ii = [float(r.ii_ns) for r in replicas]
+        service_ns = [float(r.serving_latency_ms) * 1e6 for r in replicas]
         order = sorted(
             range(len(replicas)),
             key=lambda i: (replicas[i].serving_latency_ms, i),
         )
         slo_ns = slo_ms * 1e6
-        out = np.empty(arrivals_ns.size, dtype=np.int64)
-        for k, t in enumerate(arrivals_ns):
-            best = None
+        # Incremental virtual-queue state, advanced in place per event.
+        free = [0.0] * len(replicas)
+        out: list[int] = []
+        append = out.append
+        inf = float("inf")
+        for t in arrivals_ns.tolist():
+            best = -1
             for i in order:
-                predicted = max(free[i], t) - t + service_ns[i]
-                if predicted <= slo_ns:
+                start = free[i]
+                if start < t:
+                    start = t
+                if start - t + service_ns[i] <= slo_ns:
                     best = i
                     break
-            if best is None:
-                best = min(
-                    order,
-                    key=lambda i: max(free[i], t) - t + service_ns[i],
-                )
-            out[k] = best
-            free[best] = max(free[best], t) + ii[best]
-        return out
+            if best < 0:
+                # No tier holds the SLO: best available prediction,
+                # first-in-order tie-break.
+                best_pred = inf
+                for i in order:
+                    start = free[i]
+                    if start < t:
+                        start = t
+                    predicted = start - t + service_ns[i]
+                    if predicted < best_pred:
+                        best_pred = predicted
+                        best = i
+            append(best)
+            start = free[best]
+            if start < t:
+                start = t
+            free[best] = start + ii[best]
+        return np.array(out, dtype=np.int64)
 
 
 DEFAULT_POLICIES: tuple[RoutingPolicy, ...] = (

@@ -26,6 +26,7 @@ from repro.experiments import (
     table4,
     table5,
     table6,
+    trace_scale,
 )
 from repro.experiments.report import ExperimentResult, render_table
 
@@ -48,6 +49,7 @@ EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
     "related_work": related_work.run,
     "compression": compression.run,
     "cache_study": cache_study.run,
+    "trace_scale": trace_scale.run,
 }
 
 

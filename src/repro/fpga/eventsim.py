@@ -23,6 +23,15 @@ previous item at least ``ii`` earlier, and (c) the downstream FIFO has a
 free slot, i.e. item ``i - depth`` has already left stage ``s+1``.  This
 recurrence is exact for in-order linear pipelines and runs in
 ``O(items x stages)``.
+
+The recurrence is evaluated with vectorised stage-major sweeps rather
+than the item-major Python double loop: constraint (b) telescopes, so a
+whole stage's entry times are one ``np.maximum.accumulate`` over
+offset-shifted ready times, and the backward-coupling constraint (c) is
+closed by re-sweeping until a fixed point (monotone, converges to the
+exact least solution — usually two or three sweeps).  The original
+item-major loop survives as :meth:`PipelineSimulator._run_scalar`, the
+reference the parity tests compare against.
 """
 
 from __future__ import annotations
@@ -39,12 +48,15 @@ from repro.fpga.pipeline import PipelineModel
 class SimStage:
     """A stage instance for simulation.
 
-    ``latency(i)`` may vary per item (e.g. data-dependent lookups);
-    ``ii_ns`` is the minimum spacing between successive initiations.
+    ``latency_ns`` is either a plain number (constant per-item latency —
+    lets the simulator build the latency timeline without ``items``
+    Python calls) or an item-indexed callback ``latency(i)`` for
+    data-dependent latencies (e.g. variable lookups); ``ii_ns`` is the
+    minimum spacing between successive initiations.
     """
 
     name: str
-    latency_ns: Callable[[int], float]
+    latency_ns: Callable[[int], float] | float
     ii_ns: float
     fifo_depth: int = 2
     #: A serial stage must finish an item before starting the next (the
@@ -56,6 +68,22 @@ class SimStage:
             raise ValueError(f"{self.name}: ii must be >= 0")
         if self.fifo_depth < 1:
             raise ValueError(f"{self.name}: fifo_depth must be >= 1")
+
+    def latency_at(self, i: int) -> float:
+        """Per-item latency, whether constant or callback-backed."""
+        lat = self.latency_ns
+        return float(lat(i)) if callable(lat) else float(lat)
+
+    def latency_timeline(self, items: int) -> np.ndarray:
+        """Latencies for items ``0..items-1`` as one float64 array."""
+        lat = self.latency_ns
+        if callable(lat):
+            return np.fromiter(
+                (float(lat(i)) for i in range(items)),
+                dtype=np.float64,
+                count=items,
+            )
+        return np.full(items, float(lat), dtype=np.float64)
 
 
 @dataclass(frozen=True)
@@ -116,7 +144,7 @@ class PipelineSimulator:
             [
                 SimStage(
                     name=s.name,
-                    latency_ns=(lambda lat: lambda i: lat)(s.latency_ns),
+                    latency_ns=float(s.latency_ns),
                     ii_ns=s.ii_ns,
                     fifo_depth=fifo_depth,
                 )
@@ -129,6 +157,88 @@ class PipelineSimulator:
 
         ``arrival_ii_ns`` spaces item arrivals at the first stage (0 =
         items are always available, the saturation case).
+
+        Stage-major vectorised evaluation: with ``offs[s]`` chosen so
+        the item-to-item increment of constraint (b) telescopes
+        (``i * ii`` for pipelined stages, the exclusive latency prefix
+        sum for serial ones), a stage's whole entry timeline is::
+
+            enter[s] = cummax(ready - offs[s]) + offs[s]
+
+        Constraint (c) couples stage ``s`` to the *later-computed*
+        stage ``s + 1``, so the sweep over stages is iterated until a
+        fixed point.  Starting from zeros every sweep is monotone
+        non-decreasing and bounded by the true timeline, and at least
+        one further item becomes final per sweep, so the iteration
+        reaches the exact least fixed point in at most ``items + 1``
+        sweeps — in practice two or three, since backpressure
+        information only has to hop backwards across stages once.
+        """
+        if items <= 0:
+            raise ValueError(f"items must be positive, got {items}")
+        n_stages = len(self.stages)
+        idx = np.arange(items, dtype=np.float64)
+        arrival = idx * arrival_ii_ns
+        latencies = [s.latency_timeline(items) for s in self.stages]
+        offsets = []
+        for s, stage in enumerate(self.stages):
+            if stage.serial:
+                # leave[s, i-1] = enter[s, i-1] + lat[i-1]: the step
+                # increment is lat[i-1], i.e. the exclusive prefix sum.
+                offs = np.zeros(items, dtype=np.float64)
+                np.cumsum(latencies[s][:-1], out=offs[1:])
+            else:
+                offs = idx * stage.ii_ns
+            offsets.append(offs)
+
+        enter = np.zeros((n_stages, items), dtype=np.float64)
+        leave = np.zeros((n_stages, items), dtype=np.float64)
+        backpressured = any(
+            s + 1 < n_stages and items > stage.fifo_depth
+            for s, stage in enumerate(self.stages)
+        )
+        for _ in range(items + 2):
+            changed = False
+            for s, stage in enumerate(self.stages):
+                # (a) upstream completion (this sweep's values).
+                ready = arrival if s == 0 else leave[s - 1]
+                depth = stage.fifo_depth
+                if s + 1 < n_stages and items > depth:
+                    # (c) downstream FIFO space (previous sweep's
+                    # values — closed by the fixed-point iteration).
+                    ready = ready.copy()
+                    np.maximum(
+                        ready[depth:],
+                        enter[s + 1, : items - depth],
+                        out=ready[depth:],
+                    )
+                # (b) telescoped through the offset shift.
+                offs = offsets[s]
+                new_enter = np.maximum.accumulate(ready - offs)
+                new_enter += offs
+                if not changed and not np.array_equal(new_enter, enter[s]):
+                    changed = True
+                enter[s] = new_enter
+                np.add(new_enter, latencies[s], out=leave[s])
+            if not changed or not backpressured:
+                break
+        else:  # pragma: no cover - fixed point is guaranteed above
+            return self._run_scalar(items, arrival_ii_ns)
+        return SimResult(
+            item_count=items,
+            enter_ns=enter,
+            leave_ns=leave,
+            stage_names=tuple(s.name for s in self.stages),
+        )
+
+    def _run_scalar(
+        self, items: int, arrival_ii_ns: float = 0.0
+    ) -> SimResult:
+        """The original item-major reference loop.
+
+        Kept as the ground truth the vectorised :meth:`run` is
+        parity-tested against (and its fallback should the fixed-point
+        sweep ever fail to converge).
         """
         if items <= 0:
             raise ValueError(f"items must be positive, got {items}")
@@ -152,7 +262,7 @@ class PipelineSimulator:
                 if s + 1 < n_stages and i >= stage.fifo_depth:
                     ready = max(ready, enter[s + 1, i - stage.fifo_depth])
                 enter[s, i] = ready
-                leave[s, i] = ready + stage.latency_ns(i)
+                leave[s, i] = ready + stage.latency_at(i)
         return SimResult(
             item_count=items,
             enter_ns=enter,
@@ -217,7 +327,7 @@ def simulate_with_lookup_jitter(
     stages.extend(
         SimStage(
             name=s.name,
-            latency_ns=(lambda lat: lambda i: lat)(s.latency_ns),
+            latency_ns=float(s.latency_ns),
             ii_ns=s.ii_ns,
             fifo_depth=fifo_depth,
         )

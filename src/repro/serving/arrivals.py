@@ -300,16 +300,26 @@ class RateTrace:
         :meth:`rate_at`.
         """
         t = np.asarray(t_s, dtype=np.float64)
+        if len(self.segments) == 1:
+            # Single-segment fast path (window slices, the simple trace
+            # constructors): no bucketing machinery, one rate_fn call.
+            seg = self.segments[0]
+            valid = (t >= 0) & (t < seg.duration_s)
+            if valid.all():
+                return _eval_rate(seg.rate_fn, t)
+            out = np.zeros(t.shape, dtype=np.float64)
+            out[valid] = _eval_rate(seg.rate_fn, t[valid])
+            return out
         bounds = np.concatenate(
             ([0.0], np.cumsum([seg.duration_s for seg in self.segments]))
         )
         out = np.zeros(t.shape, dtype=np.float64)
         idx = np.searchsorted(bounds, t, side="right") - 1
         valid = (t >= 0) & (idx >= 0) & (idx < len(self.segments))
-        for k in np.unique(idx[valid]):
-            seg = self.segments[int(k)]
+        for k, seg in enumerate(self.segments):
             mask = valid & (idx == k)
-            out[mask] = _eval_rate(seg.rate_fn, t[mask] - bounds[int(k)])
+            if mask.any():
+                out[mask] = _eval_rate(seg.rate_fn, t[mask] - bounds[k])
         return out
 
 

@@ -102,6 +102,12 @@ class TestConfig:
     def test_default_output_path(self):
         assert default_output_path("quick") == "BENCH_quick.json"
 
+    def test_budget_multiplier_validation(self):
+        with pytest.raises(ValueError, match="wall_clock_budget_multiplier"):
+            BenchConfig(wall_clock_budget_multiplier=0.0)
+        with pytest.raises(ValueError, match="wall_clock_budget_multiplier"):
+            BenchConfig(wall_clock_budget_multiplier=-3.0)
+
 
 class TestRunBench:
     def test_payload_validates(self, payload):
@@ -211,6 +217,25 @@ class TestRunBench:
         cpu = by_backend["cpu"]["serving"]["processes"]["poisson"]
         cpu_top = max(p["rate_per_s"] for p in cpu["points"])
         assert cpu["sla_capacity_per_s"] < cpu_top
+
+    def test_budget_stamping(self):
+        config = BenchConfig.quick_config(
+            backends=("cpu",), batches=(1,), max_rows=128,
+            cluster_backends=(), autoscale_policy="", sharding_strategy="",
+            name="budgeted", wall_clock_budget_multiplier=3.0,
+        )
+        stamped = run_bench(config)
+        assert validate_payload(stamped) is stamped
+        for result in stamped["results"]:
+            assert result["wall_clock_budget_s"] == pytest.approx(
+                3.0 * result["wall_clock_s"]
+            )
+        assert stamped["config"]["wall_clock_budget_multiplier"] == 3.0
+
+    def test_unstamped_results_carry_no_budget(self, payload):
+        for result in payload["results"]:
+            assert "wall_clock_budget_s" not in result
+        assert payload["config"]["wall_clock_budget_multiplier"] is None
 
 
 class TestValidator:
@@ -382,6 +407,22 @@ class TestValidator:
             with pytest.raises(BenchSchemaError, match=knob):
                 validate_payload(bad)
 
+    def test_wall_clock_budget_optional(self, payload):
+        ok = copy.deepcopy(payload)
+        ok["results"][0]["wall_clock_budget_s"] = None
+        assert validate_payload(ok) is ok
+        ok["results"][0]["wall_clock_budget_s"] = 12.5
+        assert validate_payload(ok) is ok
+
+    def test_wall_clock_budget_rejects_bad_values(self, payload):
+        for poison in (0, -1.0, float("nan"), "3"):
+            bad = copy.deepcopy(payload)
+            bad["results"][0]["wall_clock_budget_s"] = poison
+            with pytest.raises(
+                BenchSchemaError, match="wall_clock_budget_s"
+            ):
+                validate_payload(bad)
+
     def test_write_refuses_invalid(self, payload, tmp_path):
         bad = copy.deepcopy(payload)
         bad["results"] = []
@@ -526,6 +567,49 @@ class TestCompare:
             "autoscale/elastic" in line for line in regressions(comparison)
         )
 
+    def test_wall_clock_budget_gate(self, payload):
+        budgeted = copy.deepcopy(payload)
+        for result in budgeted["results"]:
+            result["wall_clock_budget_s"] = result["wall_clock_s"] + 1e6
+        comparison = compare_payloads(budgeted, payload)
+        entries = comparison["wall_clock"]["entries"]
+        assert len(entries) == len(payload["results"])
+        assert all(e["within_budget"] for e in entries)
+        assert not any(
+            "exceeds budget" in line for line in regressions(comparison)
+        )
+        # An over-budget pair trips regardless of the percentage
+        # threshold: budgets are absolute ceilings, not deltas.
+        tight = copy.deepcopy(budgeted)
+        tight["results"][0]["wall_clock_budget_s"] = (
+            payload["results"][0]["wall_clock_s"] / 2
+        )
+        lines = regressions(
+            compare_payloads(tight, payload), threshold_pct=1e9
+        )
+        assert len(lines) == 1 and "exceeds budget" in lines[0]
+
+    def test_wall_clock_budget_scale_loosens_fleet_wide(self, payload):
+        tight = copy.deepcopy(payload)
+        for result in tight["results"]:
+            result["wall_clock_budget_s"] = result["wall_clock_s"] / 2
+        tripped = compare_payloads(tight, payload)
+        assert not all(
+            e["within_budget"] for e in tripped["wall_clock"]["entries"]
+        )
+        loosened = compare_payloads(
+            tight, payload, wall_clock_budget_scale=1e9
+        )
+        assert all(
+            e["within_budget"] for e in loosened["wall_clock"]["entries"]
+        )
+        with pytest.raises(ValueError, match="wall_clock_budget_scale"):
+            compare_payloads(tight, payload, wall_clock_budget_scale=0.0)
+
+    def test_unbudgeted_pairs_produce_no_wall_clock_entries(self, payload):
+        comparison = compare_payloads(payload, payload)
+        assert comparison["wall_clock"]["entries"] == []
+
     def test_results_without_serving_yield_no_serving_metrics(self, payload):
         # The metric flattener (not the validator) is what keeps the
         # comparison graceful for results lacking a serving block.
@@ -667,6 +751,73 @@ class TestCliBench:
             ["bench", "--quick", "--no-cluster", "--cluster-backend",
              "cpu", "--output", str(tmp_path / "x.json")]
         ) == 2
+
+    WC_ARGS = [
+        "bench", "--quick", "--backend", "cpu", "--batch", "1",
+        "--max-rows", "128", "--no-cluster", "--no-autoscale",
+        "--no-sharding",
+    ]
+
+    def test_stamp_wall_clock_budgets_flag(self, capsys, tmp_path):
+        out_path = tmp_path / "BENCH_stamped.json"
+        assert main(
+            self.WC_ARGS
+            + ["--json", "--output", str(out_path),
+               "--stamp-wall-clock-budgets", "3"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        for result in payload["results"]:
+            assert result["wall_clock_budget_s"] == pytest.approx(
+                3.0 * result["wall_clock_s"]
+            )
+
+    def test_wall_clock_budget_cli_gate(self, capsys, tmp_path):
+        baseline = tmp_path / "BENCH_wc.json"
+        assert main(
+            self.WC_ARGS
+            + ["--json", "--output", str(baseline),
+               "--stamp-wall-clock-budgets", "1000"]
+        ) == 0
+        capsys.readouterr()
+        # Generously stamped budgets: the gate stays open (the huge PCT
+        # keeps ordinary metric noise out of the way).
+        assert main(
+            self.WC_ARGS
+            + ["--output", str(tmp_path / "BENCH_ok.json"),
+               "--compare", str(baseline),
+               "--fail-on-regression", "1000000000"]
+        ) == 0
+        capsys.readouterr()
+        # Doctor the budgets to an impossible ceiling: the gate trips on
+        # the exceedance alone.
+        doctored = json.loads(baseline.read_text())
+        for result in doctored["results"]:
+            result["wall_clock_budget_s"] = 1e-9
+        tight = tmp_path / "BENCH_tightwc.json"
+        write_payload(doctored, str(tight))
+        assert main(
+            self.WC_ARGS
+            + ["--output", str(tmp_path / "BENCH_over.json"),
+               "--compare", str(tight),
+               "--fail-on-regression", "1000000000"]
+        ) == 1
+        assert "exceeds budget" in capsys.readouterr().err
+        # The fleet-wide scale loosens the same baseline without edits.
+        assert main(
+            self.WC_ARGS
+            + ["--output", str(tmp_path / "BENCH_loose.json"),
+               "--compare", str(tight),
+               "--fail-on-regression", "1000000000",
+               "--wall-clock-budget-scale", "1e12"]
+        ) == 0
+
+    def test_bad_budget_scale_exits_2(self, capsys, tmp_path):
+        assert main(
+            self.WC_ARGS
+            + ["--output", str(tmp_path / "x.json"),
+               "--wall-clock-budget-scale", "-1"]
+        ) == 2
+        assert "--wall-clock-budget-scale" in capsys.readouterr().err
 
     def test_duplicate_backend_rejected_up_front(self, tmp_path):
         assert main(

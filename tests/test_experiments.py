@@ -36,6 +36,7 @@ class TestHarness:
             "related_work",
             "compression",
             "cache_study",
+            "trace_scale",
         }
         assert set(EXPERIMENTS) == paper | extensions
 
@@ -195,6 +196,27 @@ class TestCost:
         for row in results["cost"].rows:
             if str(row["engine"]).startswith("FPGA"):
                 assert row["cost_ratio_vs_cpu"] < 1.0
+
+
+class TestTraceScale:
+    def test_replays_ten_million_arrivals(self, results):
+        for row in results["trace_scale"].rows:
+            assert row["queries"] >= 9_900_000
+
+    def test_completes_within_generous_ceiling(self, results):
+        # The precise gate lives in CI's perf-gate job (wall-clock
+        # budgets in BENCH_ci_baseline.json); this is a coarse backstop
+        # so a 100x regression fails even without the bench harness.
+        total = sum(r["wall_s"] for r in results["trace_scale"].rows)
+        assert total < 30.0
+
+    def test_served_stages_meet_sanity_latency(self, results):
+        rows = {r["stage"]: r for r in results["trace_scale"].rows}
+        assert rows["pipelined serve (fpga)"]["p50_ms"] < 1.0
+        routed = next(
+            r for s, r in rows.items() if s.startswith("routed cluster")
+        )
+        assert routed["sla_attainment"] > 0.9
 
 
 class TestShardedFleet:
