@@ -1,0 +1,118 @@
+"""Tiered embedding storage: hot-row caching in the serving path.
+
+Production embedding tables outgrow the accelerator's fast memory, so
+rows live in a HBM -> DDR -> host hierarchy and a cache policy decides
+which rows earn the fast tiers.  `repro.memory.tiers` makes that
+hierarchy a first-class serving layer: attach it to any session and
+`serve()` charges every query its tier-lookup penalty, `perf()` grows a
+`memory` block, and the autoscaler models the cold caches of freshly
+provisioned nodes.
+
+  scaled_tier_hierarchy(...)  ->  session.attach_tiers(...)  ->  serve
+
+Run:  python examples/tiered_storage.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.autoscale import simulate_autoscale
+from repro.memory import available_cache_policies, scaled_tier_hierarchy
+from repro.serving import PopularityModel, flash_crowd_trace, poisson_arrivals
+
+MAX_ROWS = 4096
+SLO_MS = 30.0
+SEED = 0
+
+
+def main() -> None:
+    # -- attach a tier hierarchy scaled to the model's working set --------
+    session = repro.deploy_model("small", backend="fpga", max_rows=MAX_ROWS)
+    rows = sum(t.rows for t in session.model.tables)
+    hierarchy = scaled_tier_hierarchy(
+        rows,
+        policy="lru",
+        hot_fraction=0.125,
+        warm_accesses=4096,
+        sim_queries=512,
+    )
+    session.attach_tiers(
+        hierarchy,
+        popularity=PopularityModel(rows=rows, alpha=1.05),
+        seed=SEED,
+    )
+    print(f"working set: {rows:,} rows; tiers:")
+    for tier in hierarchy.as_dict()["tiers"]:
+        print(
+            f"  {tier['name']:>6}: {tier['capacity_rows']:>9,} rows  "
+            f"{tier['access_ns']:8,.0f} ns"
+        )
+
+    # -- perf() now carries the steady-state memory story -----------------
+    memory = session.perf().memory
+    print(
+        f"\nsteady state ({memory.policy}): hit rate {memory.hit_rate:.1%}, "
+        f"effective lookup {memory.effective_lookup_ns:,.0f} ns "
+        f"(all-HBM would be {memory.hot_lookup_ns:,.0f} ns)"
+    )
+
+    # -- warm vs cold: the same stream, different cache state -------------
+    rate = 0.6 * session.perf().throughput_items_per_s
+    arrivals = poisson_arrivals(np.random.default_rng(7), rate, 0.1)
+    warm = session.serve(arrivals)
+    cold = session.serve(arrivals, tier_warmup=0)
+    print(
+        f"\nwarm node:  p50 {warm.p50_ms:.4f} ms, p99 {warm.p99_ms:.4f} ms"
+    )
+    print(
+        f"cold node:  p50 {cold.p50_ms:.4f} ms, p99 {cold.p99_ms:.4f} ms "
+        f"(fresh cache, same {arrivals.size:,}-query stream)"
+    )
+
+    # -- policies ride a registry, like backends and routers --------------
+    print(f"\ncache policies: {', '.join(available_cache_policies())}")
+    for policy in available_cache_policies():
+        candidate = scaled_tier_hierarchy(
+            rows,
+            policy=policy,
+            hot_fraction=0.125,
+            warm_accesses=4096,
+            sim_queries=512,
+        )
+        session.attach_tiers(
+            candidate,
+            popularity=PopularityModel(rows=rows, alpha=1.05),
+            seed=SEED,
+        )
+        m = session.perf().memory
+        print(
+            f"  {policy:>21}: hit rate {m.hit_rate:6.1%}, "
+            f"effective {m.effective_lookup_ns:7,.0f} ns"
+        )
+
+    # -- autoscaling: fresh nodes serve cold until their caches fill ------
+    per_node = session.perf().throughput_items_per_s
+    trace = flash_crowd_trace(
+        2.0 * per_node, 0.8, spike_rate_per_s=6.0 * per_node
+    )
+    result = simulate_autoscale(
+        session,
+        trace,
+        slo_ms=SLO_MS,
+        windows=16,
+        seed=SEED,
+        compare_static=False,
+    )
+    print("\nflash crowd through an elastic tiered fleet:")
+    for w in result.windows:
+        cold_tag = f"  <- {w.cold_nodes} cold" if w.cold_nodes else ""
+        print(
+            f"  w{w.index:02d}: {w.offered_rate_per_s:12,.0f}/s  "
+            f"{w.nodes:2d} nodes  p99 {w.p99_ms:8.3f} ms{cold_tag}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -88,6 +88,10 @@ class AutoscaleWindow:
     #: Fraction of the window's offered load above the fleet's sustained
     #: capacity — traffic a real deployment would shed or spill.
     overflow_share: float
+    #: Nodes serving this window with not-yet-warm caches (only nonzero
+    #: when the surface has a tier hierarchy attached: fresh scale-ups
+    #: serve cold and re-warm from the traffic they absorb).
+    cold_nodes: int = 0
 
     @property
     def offered_queries(self) -> float:
@@ -113,6 +117,7 @@ class AutoscaleWindow:
             "tail_ms": self.tail_ms,
             "sla_attainment": self.sla_attainment,
             "overflow_share": self.overflow_share,
+            "cold_nodes": self.cold_nodes,
         }
 
 
@@ -427,19 +432,57 @@ def _run_policy(
     active = initial_nodes
     #: activation window index -> node count coming online there.
     pending: dict[int, int] = {}
+    # With a tier hierarchy attached, nodes carry cache state: cohorts
+    # track how many steady-state accesses each activation batch has
+    # absorbed.  The initial fleet (and the static baseline) are born
+    # warm — only scale-ups pay the cold-start transient.
+    tiered = getattr(surface, "tier_hierarchy", None) is not None
+    warm_cap = surface.tier_hierarchy.warm_accesses if tiered else 0
+    lookups = getattr(surface, "_tier_lookups", 1)
+    #: activation window -> [node count, accesses absorbed so far].
+    cohorts: dict[int, list[int]] = (
+        {-1: [initial_nodes, warm_cap]} if tiered else {}
+    )
     cooldown_until = -math.inf
     windows: list[AutoscaleWindow] = []
     for w in range(n_windows):
-        active += pending.pop(w, 0)
+        activated = pending.pop(w, 0)
+        active += activated
+        if tiered and activated:
+            cohorts[w] = [activated, 0]
         t0 = w * interval_s
         win_trace = plan.windows[w]
         rate = win_trace.mean_rate
         rng = np.random.default_rng(
             lab_seed(seed, surface.backend, policy.name, "autoscale", w, active)
         )
-        queries, latencies_ms = _serve_window(
-            surface, plan.per_node(w, active), rng
-        )
+        cold_nodes = 0
+        if not tiered:
+            queries, latencies_ms = _serve_window(
+                surface, plan.per_node(w, active), rng
+            )
+        else:
+            # One per-node arrival stream (drawn exactly as in the flat
+            # path), served once per warmth cohort: a fresh node replays
+            # the same load against colder caches, so the window's
+            # latency sample blends warm and cold nodes by head count.
+            arrivals = trace_arrivals(rng, plan.per_node(w, active))
+            queries = int(arrivals.size)
+            if queries == 0:
+                arrivals = np.zeros(1)
+            samples = []
+            for born in sorted(cohorts):
+                count, absorbed = cohorts[born]
+                if absorbed < warm_cap:
+                    cold_nodes += count
+                result = surface.serve(
+                    arrivals, tier_warmup=min(absorbed, warm_cap)
+                )
+                samples.append(np.repeat(result.latencies_ms, count))
+            latencies_ms = np.concatenate(samples)
+            absorbed_now = queries * lookups
+            for cohort in cohorts.values():
+                cohort[1] = min(warm_cap, cohort[1] + absorbed_now)
         mean_ms = float(latencies_ms.mean())
         # One partition pass serves all four quantiles.
         p50, p95, p99, tail_ms = (
@@ -495,6 +538,7 @@ def _run_policy(
                 overflow_share=(
                     max(0.0, 1.0 - capacity / rate) if rate > 0 else 0.0
                 ),
+                cold_nodes=cold_nodes,
             )
         )
         now = (w + 1) * interval_s
@@ -520,6 +564,18 @@ def _run_policy(
                     if shrink == 0:
                         break
                 active -= shrink
+                if tiered and shrink:
+                    # Decommission the youngest (coldest) cohorts first:
+                    # evicting a freshly warmed node wastes its warm-up.
+                    remaining = shrink
+                    for born in sorted(cohorts, reverse=True):
+                        take = min(remaining, cohorts[born][0])
+                        cohorts[born][0] -= take
+                        remaining -= take
+                        if cohorts[born][0] == 0:
+                            del cohorts[born]
+                        if remaining == 0:
+                            break
             cooldown_until = now + cooldown_s
     return tuple(windows)
 

@@ -66,14 +66,24 @@ SHARDING_METRICS = {
     "max_node_utilisation": "higher-is-worse",
 }
 
+#: Tiered-storage metrics (schema v7) compared when both artifacts carry
+#: a non-null ``tiering`` block: steady-state hot-tier hit rate and the
+#: warm and cold serving tails at the heaviest swept load.
+TIERING_METRICS = {
+    "hit_rate": "lower-is-worse",
+    "warm_p99_ms": "higher-is-worse",
+    "cold_p99_ms": "higher-is-worse",
+}
+
 #: Every compared metric's regression direction
-#: (perf + serving + cluster + autoscale + sharding).
+#: (perf + serving + cluster + autoscale + sharding + tiering).
 ALL_METRIC_DIRECTIONS = {
     **METRICS,
     **SERVING_METRICS,
     **CLUSTER_METRICS,
     **AUTOSCALE_METRICS,
     **SHARDING_METRICS,
+    **TIERING_METRICS,
 }
 
 
@@ -136,6 +146,25 @@ def _sharding_metrics(payload: dict) -> dict[str, float] | None:
         "sla_attainment": blended["sla_attainment"],
         "fanout": plan["fanout"],
         "max_node_utilisation": plan["max_node_utilisation"],
+    }
+
+
+def _tiering_metrics(payload: dict) -> dict[str, float] | None:
+    """Flatten a payload's tiering block into comparable scalars.
+
+    The warm/cold tails are read at each curve's heaviest measured load —
+    the point where cache state matters most — rather than averaged
+    across the sweep.
+    """
+    tiering = payload.get("tiering")
+    if not isinstance(tiering, dict):
+        return None
+    warm = max(tiering["warm"]["points"], key=lambda p: p["rate_per_s"])
+    cold = max(tiering["cold"]["points"], key=lambda p: p["rate_per_s"])
+    return {
+        "hit_rate": tiering["steady_state"]["hit_rate"],
+        "warm_p99_ms": warm["p99_ms"],
+        "cold_p99_ms": cold["p99_ms"],
     }
 
 
@@ -279,6 +308,11 @@ def compare_payloads(
             _sharding_metrics(new),
             SHARDING_METRICS,
         ),
+        "tiering": _block_deltas(
+            _tiering_metrics(old),
+            _tiering_metrics(new),
+            TIERING_METRICS,
+        ),
         "wall_clock": {
             "budget_scale": wall_clock_budget_scale,
             "entries": _wall_clock_entries(
@@ -316,6 +350,7 @@ def regressions(
         "cluster": ("cluster", "routed"),
         "autoscale": ("autoscale", "elastic"),
         "sharding": ("sharding", "fan-out"),
+        "tiering": ("tiering", "tiered"),
     }.items():
         deltas = comparison.get(block)
         if deltas:

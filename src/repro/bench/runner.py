@@ -84,6 +84,15 @@ class BenchConfig:
     #: the first swept model cannot fit on one node, so the plan is a
     #: real multi-owner shard even for the CI-sized models.
     sharding_node_gb: float = 0.5
+    #: Cache policy of the v7 tiering block (the first swept
+    #: model/backend bound to a scaled HBM → DDR → host hierarchy and
+    #: served warm and cold); the empty string disables the block
+    #: (``"tiering": null``).
+    tiering_policy: str = "lru"
+    #: Zipf exponent of the tiering block's key popularity.
+    tiering_alpha: float = 1.05
+    #: Fraction of the tiering block's working set the hot tier holds.
+    tiering_hot_fraction: float = 0.125
     #: When set, stamp every result's ``wall_clock_budget_s`` (schema v6)
     #: at ``multiplier x`` its measured wall clock — the one-command way
     #: to regenerate a budgeted baseline artifact (pick ~3x so routine
@@ -163,6 +172,15 @@ class BenchConfig:
             raise ValueError(
                 f"sharding_node_gb must be positive, got "
                 f"{self.sharding_node_gb}"
+            )
+        if self.tiering_alpha < 0:
+            raise ValueError(
+                f"tiering_alpha must be >= 0, got {self.tiering_alpha}"
+            )
+        if not 0 < self.tiering_hot_fraction < 0.5:
+            raise ValueError(
+                f"tiering_hot_fraction must be in (0, 0.5), got "
+                f"{self.tiering_hot_fraction}"
             )
         if (
             self.wall_clock_budget_multiplier is not None
@@ -247,6 +265,16 @@ def _check_names(config: BenchConfig) -> None:
             f"unknown sharding_strategy {config.sharding_strategy!r}; "
             f"registered: {sorted(available_strategies())} "
             f"(or {AUTO_STRATEGY!r})"
+        )
+    from repro.memory.tiers import available_cache_policies
+
+    if (
+        config.tiering_policy
+        and config.tiering_policy not in available_cache_policies()
+    ):
+        raise ValueError(
+            f"unknown tiering_policy {config.tiering_policy!r}; "
+            f"registered: {sorted(available_cache_policies())}"
         )
 
 
@@ -404,6 +432,54 @@ def _bench_sharding(config: BenchConfig) -> dict[str, object] | None:
     }
 
 
+def _bench_tiering(config: BenchConfig) -> dict[str, object] | None:
+    """The v7 tiered-storage block: one warm/cold tier lab per sweep.
+
+    The first swept model on the first swept backend, bound to a scaled
+    HBM → DDR → host hierarchy whose hot tier holds only
+    ``tiering_hot_fraction`` of the model's rows, driven by
+    Zipf(``tiering_alpha``) popularity — enough for ``--compare`` to
+    track the steady-state hit rate and the warm and cold p99 across
+    commits.  Simulation sizes are capped (``sim_queries``) so the
+    block stays CI-priced.
+    """
+    if not config.tiering_policy:
+        return None
+    from repro.memory.tiers import scaled_tier_hierarchy
+    from repro.serving.lab import tiering_lab
+    from repro.serving.popularity import PopularityModel
+
+    model_name = config.models[0]
+    backend = config.resolved_backends()[0]
+    session = deploy_model(
+        model_name,
+        backend=backend,
+        max_rows=config.max_rows,
+        seed=config.seed,
+    )
+    rows = sum(t.rows for t in session.model.tables)
+    hierarchy = scaled_tier_hierarchy(
+        rows,
+        policy=config.tiering_policy,
+        hot_fraction=config.tiering_hot_fraction,
+        warm_accesses=4096,
+        sim_queries=512,
+    )
+    session.attach_tiers(
+        hierarchy,
+        popularity=PopularityModel(rows=rows, alpha=config.tiering_alpha),
+        seed=config.seed,
+    )
+    block = tiering_lab(
+        session,
+        utilisations=config.serve_utilisations,
+        duration_s=config.serve_duration_s,
+        slo_ms=config.slo_ms,
+        seed=config.seed,
+    )
+    return {"model": model_name, **block}
+
+
 def _bench_one(
     model_name: str, backend: str, config: BenchConfig
 ) -> dict[str, object]:
@@ -524,6 +600,16 @@ def run_bench(
             f"p99 {blended['p99_ms']:.3f} ms, "
             f"peak node {plan['max_node_utilisation']:.1%} full"
         )
+    tiering_block = _bench_tiering(config)
+    if tiering_block is not None:
+        steady = tiering_block["steady_state"]
+        emit(
+            f"bench tiering {tiering_block['backend']} "
+            f"({tiering_block['policy']}): "
+            f"hit rate {steady['hit_rate']:.1%}, "
+            f"effective lookup {steady['effective_lookup_ns']:,.0f} ns "
+            f"(hot {steady['hot_lookup_ns']:,.0f} ns)"
+        )
     payload: dict[str, object] = {
         "suite": SUITE,
         "schema_version": SCHEMA_VERSION,
@@ -548,6 +634,9 @@ def run_bench(
             "sharding_strategy": config.sharding_strategy,
             "sharding_nodes": config.sharding_nodes,
             "sharding_node_gb": config.sharding_node_gb,
+            "tiering_policy": config.tiering_policy,
+            "tiering_alpha": config.tiering_alpha,
+            "tiering_hot_fraction": config.tiering_hot_fraction,
             "wall_clock_budget_multiplier": (
                 config.wall_clock_budget_multiplier
             ),
@@ -556,6 +645,7 @@ def run_bench(
         "cluster": cluster_block,
         "autoscale": autoscale_block,
         "sharding": sharding_block,
+        "tiering": tiering_block,
         "wall_clock_s": time.perf_counter() - started,
     }
     return validate_payload(payload)

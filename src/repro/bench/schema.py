@@ -38,8 +38,14 @@ from typing import Sequence
 #: null means unbudgeted): an explicit opt-in wall-clock budget that
 #: ``--compare --fail-on-regression`` enforces as an absolute limit on
 #: the *other* payload's measured ``wall_clock_s``, so a committed
-#: baseline can gate CI runtime without chasing noisy raw deltas.
-SCHEMA_VERSION = 6
+#: baseline can gate CI runtime without chasing noisy raw deltas.  v7
+#: added the top-level ``tiering`` block (a tier-attached deployment —
+#: HBM hot-row cache over DDR over host — under Zipf-skewed popularity:
+#: the hierarchy, the warm steady-state hit rate, and warm-vs-cold
+#: latency curves; null when the sweep disabled it), the tiering knobs
+#: in ``config``, and the per-window ``cold_nodes`` count in the
+#: autoscale timeline.
+SCHEMA_VERSION = 7
 
 #: The ``suite`` discriminator: distinguishes our artifacts from any other
 #: JSON a pipeline might hand the validator.
@@ -235,6 +241,18 @@ def _check_config(config: object, path: str) -> None:
     _check_int(config, path, "sharding_nodes", minimum=1)
     _check_number(
         config, path, "sharding_node_gb", minimum=0, exclusive=True
+    )
+    # v7 tiering knobs: an empty policy string means the sweep disabled
+    # the tiering block (and ``$.tiering`` must then be null).
+    tiering_policy = _get(config, path, "tiering_policy")
+    if not isinstance(tiering_policy, str):
+        _fail(
+            f"{path}.tiering_policy",
+            f"expected a string, got {tiering_policy!r}",
+        )
+    _check_number(config, path, "tiering_alpha", minimum=0)
+    _check_number(
+        config, path, "tiering_hot_fraction", minimum=0, exclusive=True
     )
 
 
@@ -434,6 +452,8 @@ def _check_autoscale_window(window: object, path: str) -> None:
         _check_number(window, path, key, minimum=0, exclusive=True)
     _check_fraction(window, path, "sla_attainment")
     _check_fraction(window, path, "overflow_share")
+    # v7: nodes serving with not-yet-warm tier caches (0 on flat runs).
+    _check_int(window, path, "cold_nodes")
 
 
 def _check_autoscale(autoscale: object, path: str) -> None:
@@ -562,6 +582,71 @@ def _check_sharding(sharding: object, path: str) -> None:
     _check_str(result, f"{path}.result", "strategy")
 
 
+def _check_tiering(tiering: object, path: str) -> None:
+    """The v7 tiered-storage block: hierarchy + warm/cold curves."""
+    if not isinstance(tiering, dict):
+        _fail(path, f"expected an object, got {tiering!r}")
+    _check_str(tiering, path, "model")
+    _check_str(tiering, path, "backend")
+    _check_str(tiering, path, "policy")
+    hierarchy = _get(tiering, path, "hierarchy")
+    if not isinstance(hierarchy, dict):
+        _fail(f"{path}.hierarchy", f"expected an object, got {hierarchy!r}")
+    hpath = f"{path}.hierarchy"
+    _check_str(hierarchy, hpath, "policy")
+    _check_int(hierarchy, hpath, "row_bytes", minimum=1)
+    _check_int(hierarchy, hpath, "warm_accesses")
+    tiers = _get(hierarchy, hpath, "tiers")
+    if not isinstance(tiers, list) or len(tiers) < 2:
+        _fail(
+            f"{hpath}.tiers",
+            f"expected a list of >= 2 tiers, got {tiers!r}",
+        )
+    for i, tier in enumerate(tiers):
+        tpath = f"{hpath}.tiers[{i}]"
+        if not isinstance(tier, dict):
+            _fail(tpath, f"expected an object, got {tier!r}")
+        _check_str(tier, tpath, "name")
+        _check_int(tier, tpath, "capacity_bytes", minimum=1)
+        _check_int(tier, tpath, "capacity_rows")
+        _check_number(tier, tpath, "access_ns", minimum=0, exclusive=True)
+    popularity = _get(tiering, path, "popularity")
+    if not isinstance(popularity, dict):
+        _fail(
+            f"{path}.popularity",
+            f"expected an object, got {popularity!r}",
+        )
+    ppath = f"{path}.popularity"
+    _check_int(popularity, ppath, "rows", minimum=1)
+    _check_number(popularity, ppath, "alpha", minimum=0)
+    _check_number(popularity, ppath, "drift_rows_per_s", minimum=0)
+    steady = _get(tiering, path, "steady_state")
+    if not isinstance(steady, dict):
+        _fail(
+            f"{path}.steady_state", f"expected an object, got {steady!r}"
+        )
+    spath = f"{path}.steady_state"
+    _check_fraction(steady, spath, "hit_rate")
+    _check_number(
+        steady, spath, "effective_lookup_ns", minimum=0, exclusive=True
+    )
+    _check_number(
+        steady, spath, "hot_lookup_ns", minimum=0, exclusive=True
+    )
+    _check_int(steady, spath, "lookups_per_query", minimum=1)
+    fractions = _get(steady, spath, "tier_fractions")
+    if not isinstance(fractions, dict) or not fractions:
+        _fail(
+            f"{spath}.tier_fractions",
+            f"expected a non-empty object, got {fractions!r}",
+        )
+    for name in fractions:
+        _check_fraction(fractions, f"{spath}.tier_fractions", name)
+    _check_number(tiering, path, "slo_ms", minimum=0, exclusive=True)
+    _check_curve(_get(tiering, path, "warm"), f"{path}.warm")
+    _check_curve(_get(tiering, path, "cold"), f"{path}.cold")
+
+
 def _check_result(result: object, path: str) -> None:
     if not isinstance(result, dict):
         _fail(path, f"expected an object, got {result!r}")
@@ -642,6 +727,11 @@ def validate_payload(payload: object) -> dict:
         # Same contract again: opt-out-able via sharding_strategy="",
         # but the key itself must exist.
         _check_sharding(sharding, "$.sharding")
+    tiering = _get(payload, "$", "tiering")
+    if tiering is not None:
+        # Same contract again: opt-out-able via tiering_policy="",
+        # but the key itself must exist.
+        _check_tiering(tiering, "$.tiering")
     results = _get(payload, "$", "results")
     if not isinstance(results, list) or not results:
         _fail("$.results", f"expected a non-empty list, got {results!r}")

@@ -10,18 +10,20 @@ Usage::
     repro cluster MODEL [options]          # routed heterogeneous cluster
     repro plan-shards MODEL [options]      # shard one model across nodes
     repro autoscale MODEL [options]        # elastic fleet through a trace
+    repro tiers MODEL [options]            # tiered storage: warm vs cold
     repro bench [options]                  # backend x model x batch sweep
     repro info                             # library / model overview
 
 (Also runnable as ``python -m repro``.)  ``MODEL`` is a registered model
 name; ``--backend`` selects a registered inference backend, ``--router``
 (on ``cluster``) a registered routing policy, ``--policy`` (on
-``autoscale``) a registered scaler policy, and ``--strategy`` (on
-``plan-shards``) a registered sharding strategy — the ``--help`` epilog
+``autoscale``) a registered scaler policy (on ``tiers``, a registered
+cache policy), and ``--strategy`` (on ``plan-shards``) a registered
+sharding strategy — the ``--help`` epilog
 lists the registries live, so third-party plugins show up automatically.
 ``--json`` on ``plan``/``infer``/``fleet``/``serve``/``cluster``/
-``plan-shards``/``autoscale``/``bench``/``info`` emits machine-readable
-output for
+``plan-shards``/``autoscale``/``tiers``/``bench``/``info`` emits
+machine-readable output for
 scripting: with ``--json``, stdout carries *only* the JSON document
 (progress goes to stderr), so the output pipes straight into ``python -m
 json.tool``.
@@ -734,6 +736,95 @@ def _cmd_autoscale(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_tiers(args: argparse.Namespace) -> int:
+    from repro.memory import (
+        available_cache_policies,
+        scaled_tier_hierarchy,
+    )
+    from repro.serving.arrivals import ARRIVAL_PROCESSES
+    from repro.serving.lab import DEFAULT_UTILISATIONS, tiering_lab
+    from repro.serving.popularity import DEFAULT_ALPHA, PopularityModel
+
+    if (rc := _check_model(args.model)) is not None:
+        return rc
+    if args.policy not in available_cache_policies():
+        return _fail(
+            f"unknown cache policy {args.policy!r}; "
+            f"available: {list(available_cache_policies())}"
+        )
+    if args.process not in ARRIVAL_PROCESSES:
+        return _fail(
+            f"unknown arrival process {args.process!r}; "
+            f"available: {list(ARRIVAL_PROCESSES)}"
+        )
+    session = _build_session(args, seed=args.seed)
+    if session is None:
+        return 2
+    rows = sum(t.rows for t in session.model.tables)
+    try:
+        hierarchy = scaled_tier_hierarchy(
+            rows,
+            policy=args.policy,
+            hot_fraction=args.hot_fraction,
+            warm_accesses=args.warm_accesses,
+            sim_queries=args.sim_queries,
+        )
+        session.attach_tiers(
+            hierarchy,
+            popularity=PopularityModel(
+                rows=rows,
+                alpha=args.alpha,
+                drift_rows_per_s=args.drift,
+            ),
+            seed=args.seed,
+        )
+        block = tiering_lab(
+            session,
+            process=args.process,
+            utilisations=tuple(args.utilisation or DEFAULT_UTILISATIONS),
+            duration_s=args.duration_s,
+            slo_ms=args.slo_ms,
+            slo_percentile=args.percentile,
+            seed=args.seed,
+        )
+    except ValueError as exc:
+        return _fail(str(exc))
+    payload = {"model": args.model, "seed": args.seed, **block}
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    steady = payload["steady_state"]
+    print(
+        f"tiered storage: {args.model}/{session.backend}, "
+        f"policy {args.policy}, {rows:,} rows "
+        f"(alpha={args.alpha:g}, drift={args.drift:g} rows/s)"
+    )
+    print("  tiers:")
+    for tier in payload["hierarchy"]["tiers"]:
+        print(
+            f"    {tier['name']:>6}: {tier['capacity_rows']:>12,} rows  "
+            f"{tier['access_ns']:10,.0f} ns"
+        )
+    print(
+        f"  steady state: hit rate {steady['hit_rate']:.1%}, "
+        f"effective lookup {steady['effective_lookup_ns']:,.0f} ns "
+        f"(hot {steady['hot_lookup_ns']:,.0f} ns, "
+        f"{steady['lookups_per_query']} lookups/query)"
+    )
+    for label in ("warm", "cold"):
+        curve = payload[label]
+        cap = curve["sla_capacity_per_s"]
+        print(f"  {label}: SLA capacity {cap:,.0f}/s")
+        for p in curve["points"]:
+            print(
+                f"    {p['rate_per_s']:>12,.0f}/s "
+                f"(u={p['utilisation']:4.2f}): "
+                f"p50 {p['p50_ms']:8.3f}  p99 {p['p99_ms']:8.3f} ms  "
+                f"SLA {p['sla_attainment']:6.1%}"
+            )
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import (
         BenchConfig,
@@ -784,6 +875,17 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         overrides["sharding_strategy"] = args.sharding_strategy
     if args.sharding_nodes is not None:
         overrides["sharding_nodes"] = args.sharding_nodes
+    if args.no_tiering and args.tiering_policy:
+        return _fail("--no-tiering and --tiering-policy are mutually "
+                     "exclusive")
+    if args.no_tiering:
+        overrides["tiering_policy"] = ""
+    elif args.tiering_policy:
+        overrides["tiering_policy"] = args.tiering_policy
+    if args.tiering_alpha is not None:
+        overrides["tiering_alpha"] = args.tiering_alpha
+    if args.tiering_hot_fraction is not None:
+        overrides["tiering_hot_fraction"] = args.tiering_hot_fraction
     if args.batch:
         overrides["batches"] = tuple(args.batch)
     if args.max_rows is not None:
@@ -891,6 +993,7 @@ def _cmd_info(args: argparse.Namespace) -> int:
     from repro.cluster import available_policies
     from repro.distplan import available_strategies
     from repro.experiments.harness import EXPERIMENTS
+    from repro.memory import available_cache_policies
     from repro.models.spec import MODEL_FACTORIES
     from repro.runtime import available_backends
 
@@ -911,6 +1014,7 @@ def _cmd_info(args: argparse.Namespace) -> int:
                     "routing_policies": list(available_policies()),
                     "scaler_policies": list(available_scalers()),
                     "sharding_strategies": list(available_strategies()),
+                    "cache_policies": list(available_cache_policies()),
                     "models": models,
                     "experiments": list(EXPERIMENTS),
                 },
@@ -923,6 +1027,7 @@ def _cmd_info(args: argparse.Namespace) -> int:
     print(f"routing policies: {', '.join(available_policies())}")
     print(f"scaler policies: {', '.join(available_scalers())}")
     print(f"sharding strategies: {', '.join(available_strategies())}")
+    print(f"cache policies: {', '.join(available_cache_policies())}")
     print("\nproduction models (+ benchmark family):")
     for name, factory in MODEL_FACTORIES.items():
         m = factory()
@@ -944,6 +1049,7 @@ def _registry_epilog() -> str:
     from repro.autoscale import available_scalers
     from repro.cluster import available_policies
     from repro.distplan import available_strategies
+    from repro.memory import available_cache_policies
     from repro.models.spec import MODEL_FACTORIES
     from repro.runtime import available_backends
 
@@ -953,7 +1059,9 @@ def _registry_epilog() -> str:
         f"registered routing policies: {' | '.join(available_policies())}\n"
         f"registered scaler policies: {' | '.join(available_scalers())}\n"
         f"registered sharding strategies: "
-        f"{' | '.join(available_strategies())}"
+        f"{' | '.join(available_strategies())}\n"
+        f"registered cache policies: "
+        f"{' | '.join(available_cache_policies())}"
     )
 
 
@@ -1291,6 +1399,74 @@ def build_parser() -> argparse.ArgumentParser:
     p_auto.add_argument("--json", action="store_true")
     p_auto.set_defaults(func=_cmd_autoscale)
 
+    from repro.memory import available_cache_policies
+    from repro.serving.popularity import DEFAULT_ALPHA
+
+    p_tiers = sub.add_parser(
+        "tiers",
+        help="tiered embedding storage: warm-vs-cold serving curves",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=_registry_epilog(),
+    )
+    p_tiers.add_argument("model", help=_model_help())
+    _add_backend_flag(p_tiers, default="fpga")
+    p_tiers.add_argument(
+        "--policy", default="lru",
+        help="cache policy of the caching tiers "
+        f"({' | '.join(available_cache_policies())})",
+    )
+    p_tiers.add_argument(
+        "--alpha", type=float, default=DEFAULT_ALPHA,
+        help="Zipf skew of per-query row popularity "
+        f"(default {DEFAULT_ALPHA}; <= 0 means uniform)",
+    )
+    p_tiers.add_argument(
+        "--drift", type=float, default=0.0, metavar="ROWS_PER_S",
+        help="popularity drift: hot-set rotation speed (default 0)",
+    )
+    p_tiers.add_argument(
+        "--hot-fraction", type=float, default=0.125, metavar="FRAC",
+        help="fraction of the working set the hot tier holds "
+        "(default 0.125)",
+    )
+    p_tiers.add_argument(
+        "--process", default="poisson",
+        help=_process_help("arrival process (default poisson)"),
+    )
+    p_tiers.add_argument(
+        "--utilisation", action="append", type=float, default=None,
+        metavar="FRAC",
+        help="offered load as a fraction of per-node throughput "
+        "(repeatable; default: 0.2 0.4 0.6 0.8 0.95 1.1)",
+    )
+    p_tiers.add_argument(
+        "--slo-ms", type=float, default=30.0,
+        help="latency SLO (default 30 ms)",
+    )
+    p_tiers.add_argument(
+        "--percentile", type=float, default=99.0,
+        help="percentile the SLO is judged at (default p99)",
+    )
+    p_tiers.add_argument(
+        "--duration-s", type=float, default=0.2,
+        help="simulated window per measurement (default 0.2 s)",
+    )
+    p_tiers.add_argument(
+        "--warm-accesses", type=int, default=8192,
+        help="warm-up lookups defining steady state (default 8192)",
+    )
+    p_tiers.add_argument(
+        "--sim-queries", type=int, default=2048,
+        help="queries simulated per cache evaluation (default 2048)",
+    )
+    p_tiers.add_argument(
+        "--max-rows", type=int, default=None,
+        help="row-cap tables before deployment",
+    )
+    p_tiers.add_argument("--seed", type=int, default=0)
+    p_tiers.add_argument("--json", action="store_true")
+    p_tiers.set_defaults(func=_cmd_tiers)
+
     p_bench = sub.add_parser(
         "bench",
         help="sweep backends x models x batches into BENCH_<name>.json",
@@ -1349,6 +1525,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument(
         "--no-sharding", action="store_true",
         help='omit the sharding block ("sharding": null in the artifact)',
+    )
+    p_bench.add_argument(
+        "--tiering-policy", default=None, metavar="NAME",
+        help="cache policy of the v7 tiering block (default lru)",
+    )
+    p_bench.add_argument(
+        "--tiering-alpha", type=float, default=None, metavar="ALPHA",
+        help="Zipf skew of the tiering block's row popularity "
+        f"(default {DEFAULT_ALPHA})",
+    )
+    p_bench.add_argument(
+        "--tiering-hot-fraction", type=float, default=None, metavar="FRAC",
+        help="hot-tier share of the working set in the tiering block "
+        "(default 0.125)",
+    )
+    p_bench.add_argument(
+        "--no-tiering", action="store_true",
+        help='omit the tiering block ("tiering": null in the artifact)',
     )
     p_bench.add_argument(
         "--max-rows", type=int, default=None,

@@ -339,6 +339,7 @@ class Cluster(ServingSurface):
                 )
             dominant = max(tier_throughput, key=lambda k: tier_throughput[k])
             precisions = {p.precision for p in perfs}
+            memory = self._memory_estimate()
             self._perf_cache = PerfEstimate(
                 backend=self.backend,
                 precision=(
@@ -356,6 +357,7 @@ class Cluster(ServingSurface):
                 serving_batch=max(p.serving_batch for p in perfs),
                 usd_per_hour=sum(p.usd_per_hour for p in perfs),
                 bottleneck=f"{dominant} tier",
+                memory=memory,
             )
         return self._perf_cache
 

@@ -262,6 +262,12 @@ def plan_fleet_sla(
     noise, and its own simulated stream always meets the SLO.  The
     result never has fewer nodes than the throughput plan.
 
+    With a tier hierarchy attached to the session (``attach_tiers``),
+    every probe serves at *warm* steady state — ``serve``'s default
+    warm-up — so the plan sizes for the fleet's long-run behaviour; the
+    cold-start transient after a scale-up is the autoscaler's problem
+    (:func:`repro.autoscale.simulate_autoscale` charges it per window).
+
     Raises :class:`ValueError` when the SLO is unattainable at any fleet
     size under ``max_nodes`` (e.g. an SLO below the engine's unloaded
     batch-assembly + execution floor).

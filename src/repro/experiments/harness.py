@@ -26,6 +26,7 @@ from repro.experiments import (
     table4,
     table5,
     table6,
+    tiered_storage,
     trace_scale,
 )
 from repro.experiments.report import ExperimentResult, render_table
@@ -49,6 +50,7 @@ EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
     "related_work": related_work.run,
     "compression": compression.run,
     "cache_study": cache_study.run,
+    "tiered_storage": tiered_storage.run,
     "trace_scale": trace_scale.run,
 }
 
@@ -73,6 +75,13 @@ CHARTS = {
         "p99_ms",
         True,
         "Serving: p99 latency (ms) vs offered load (queries/s)",
+    ),
+    "tiered_storage": (
+        "nodes",
+        "window",
+        "p99_ms",
+        False,
+        "Tiered storage: p99 (ms) vs control window (series = fleet size)",
     ),
 }
 

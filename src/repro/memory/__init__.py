@@ -27,6 +27,19 @@ from repro.memory.dramsim import (
     DramTimingParams,
     simulate_table_lookups,
 )
+from repro.memory.tiers import (
+    DEFAULT_ROW_BYTES,
+    CachePolicy,
+    TierHierarchy,
+    TierLookupStats,
+    TierSpec,
+    UnknownCachePolicyError,
+    available_cache_policies,
+    default_tier_hierarchy,
+    get_cache_policy,
+    register_cache_policy,
+    scaled_tier_hierarchy,
+)
 
 __all__ = [
     "AxiConfig",
@@ -42,4 +55,15 @@ __all__ = [
     "DramChannelSim",
     "DramTimingParams",
     "simulate_table_lookups",
+    "DEFAULT_ROW_BYTES",
+    "CachePolicy",
+    "TierHierarchy",
+    "TierLookupStats",
+    "TierSpec",
+    "UnknownCachePolicyError",
+    "available_cache_policies",
+    "default_tier_hierarchy",
+    "get_cache_policy",
+    "register_cache_policy",
+    "scaled_tier_hierarchy",
 ]

@@ -7,6 +7,16 @@ LRU row cache in front of a table and reports hit rates and effective
 lookup latency, letting experiments relate traffic skew, cache size, and
 the residual benefit of Cartesian merging (merged products dilute per-row
 popularity, so caching and merging interact).
+
+The bulk path (:func:`lru_hit_flags`, used by
+:meth:`LruRowCache.run_trace` and the tier simulator in
+:mod:`repro.memory.tiers`) is fully vectorised.  It exploits the classic
+stack-distance characterisation of LRU: because this cache inserts on
+miss, an access hits iff the number of *distinct* keys touched since the
+key's previous occurrence is below the capacity.  That distinct count
+reduces to a dominance count over previous-occurrence indices (see
+:func:`_count_smaller_before`), computed with a bottom-up merge in
+O(n log n) NumPy passes instead of a Python loop per key.
 """
 
 from __future__ import annotations
@@ -29,6 +39,112 @@ class CacheStats:
     @property
     def hit_rate(self) -> float:
         return self.hits / self.accesses if self.accesses else 0.0
+
+
+def _count_smaller_before(values: np.ndarray) -> np.ndarray:
+    """For each ``i``: ``#{j < i : values[j] < values[i]}``, exactly.
+
+    Bottom-up merge counting: at each level the array is partitioned
+    into blocks sorted by value whose slots still correspond to
+    contiguous ranges of original positions, so every (j, i) pair is
+    counted exactly once — at the level where j's block and i's block
+    become siblings — via one biased ``np.searchsorted`` over all block
+    pairs at once.  O(n log n) NumPy work, no per-element Python loop.
+    """
+    values = np.asarray(values, dtype=np.int64)
+    n = values.size
+    if n < 2:
+        return np.zeros(n, dtype=np.int64)
+    # Pad to a power of two with sentinels larger than every real value:
+    # every block is then full, so each level is pure reshaped
+    # arithmetic with no ragged-block bookkeeping.  The sentinels sort
+    # to the end of their block and contribute only to pad counts,
+    # which are sliced off at the end.
+    m = 1 << (n - 1).bit_length()
+    lo = int(values.min())
+    span = int(values.max()) - lo + 2  # +1 head-room for the sentinel
+    vals = np.full(m, span - 1, dtype=np.int64)
+    vals[:n] = values - lo
+    counts = np.zeros(m, dtype=np.int64)
+    pos = np.arange(m, dtype=np.int64)  # original index of each slot
+    width = 1
+    while width < m:
+        pair = 2 * width
+        n_blocks = m // pair
+        # Bias each block by ``block_id * span`` so the concatenated
+        # left halves (and right halves) are globally sorted.
+        bias = (np.arange(n_blocks, dtype=np.int64) * span)[:, None]
+        biased = (vals.reshape(n_blocks, pair) + bias).ravel()
+        two = biased.reshape(n_blocks, pair)
+        left = np.ascontiguousarray(two[:, :width]).ravel()
+        right = np.ascontiguousarray(two[:, width:]).ravel()
+        local = np.tile(np.arange(width, dtype=np.int64), n_blocks)
+        block_starts = np.repeat(
+            np.arange(n_blocks, dtype=np.int64) * width, width
+        )
+        rank_in_left = (
+            np.searchsorted(left, right, side="left") - block_starts
+        )
+        pos2 = pos.reshape(n_blocks, pair)
+        counts[pos2[:, width:].ravel()] += rank_in_left
+        # Stable scatter-merge using the two cross-rank arrays: left
+        # element k lands at k + (#right <= value), right element k at
+        # k + (#left < value) — a consistent tie rule, so the slots
+        # form a permutation and each block pair ends up sorted.
+        rank_in_right = (
+            np.searchsorted(right, left, side="right") - block_starts
+        )
+        new_slots = np.empty(m, dtype=np.int64)
+        pair_base = np.repeat(
+            np.arange(n_blocks, dtype=np.int64) * pair, width
+        )
+        new_slots_2d = new_slots.reshape(n_blocks, pair)
+        new_slots_2d[:, :width] = (
+            pair_base + local + rank_in_right
+        ).reshape(n_blocks, width)
+        new_slots_2d[:, width:] = (
+            pair_base + local + rank_in_left
+        ).reshape(n_blocks, width)
+        merged_vals = np.empty(m, dtype=np.int64)
+        merged_pos = np.empty(m, dtype=np.int64)
+        merged_vals[new_slots] = vals
+        merged_pos[new_slots] = pos
+        vals = merged_vals
+        pos = merged_pos
+        width = pair
+    return counts[:n]
+
+
+def lru_hit_flags(keys: np.ndarray, capacity_rows: int) -> np.ndarray:
+    """Per-access hit flags for an LRU cache starting empty.
+
+    Exact semantics of replaying ``keys`` through
+    :meth:`LruRowCache.access` on a fresh cache, but vectorised: access
+    ``i`` hits iff the key occurred before and fewer than
+    ``capacity_rows`` distinct keys appeared strictly in between.  The
+    distinct count is ``#{j < i : prev[j] < prev[i]} - (prev[i] + 1)``
+    — every ``j <= prev[i]`` has ``prev[j] < j <= prev[i]``, so the
+    dominance count over *all* earlier accesses over-counts by exactly
+    the window start — which :func:`_count_smaller_before` supplies.
+    """
+    if capacity_rows <= 0:
+        raise ValueError(
+            f"capacity_rows must be positive, got {capacity_rows}"
+        )
+    keys = np.asarray(keys, dtype=np.int64).ravel()
+    n = keys.size
+    if n == 0:
+        return np.zeros(0, dtype=bool)
+    # Previous occurrence of each key (stable sort groups equal keys in
+    # position order); first occurrences get distinct negative
+    # sentinels, which sort below every valid index.
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    same = sorted_keys[1:] == sorted_keys[:-1]
+    prev = -1 - np.arange(n, dtype=np.int64)
+    prev[order[1:][same]] = order[:-1][same]
+    distinct_between = _count_smaller_before(prev) - (prev + 1)
+    return (prev >= 0) & (distinct_between < capacity_rows)
 
 
 class LruRowCache:
@@ -56,6 +172,47 @@ class LruRowCache:
         return False
 
     def run_trace(self, keys: np.ndarray) -> CacheStats:
+        """Replay a whole key trace through the cache, vectorised.
+
+        Matches :meth:`_run_trace_scalar` (a per-key :meth:`access`
+        loop) exactly, including on a warm cache: the current contents
+        are replayed as a synthetic prefix — one access per resident
+        key in LRU order reproduces the cache state — and only the real
+        suffix is scored.  The final LRU contents are the last
+        ``capacity`` distinct keys ordered by last occurrence, rebuilt
+        from the trace without touching the per-key path.
+        """
+        keys = np.asarray(keys, dtype=np.int64).ravel()
+        if keys.size == 0:
+            return self.stats
+        if self._lru:
+            prefix = np.fromiter(
+                self._lru, dtype=np.int64, count=len(self._lru)
+            )
+            full = np.concatenate([prefix, keys])
+        else:
+            full = keys
+        flags = lru_hit_flags(full, self.capacity)[full.size - keys.size:]
+        hits = int(np.count_nonzero(flags))
+        self.stats.hits += hits
+        self.stats.misses += keys.size - hits
+        # Final contents: the most recent `capacity` distinct keys, in
+        # order of last occurrence (oldest first, like the OrderedDict).
+        reversed_trace = full[::-1]
+        unique, first_in_reversed = np.unique(
+            reversed_trace, return_index=True
+        )
+        last_pos = full.size - 1 - first_in_reversed
+        keep = np.argsort(last_pos)[-self.capacity:]
+        self._lru = OrderedDict((int(k), None) for k in unique[keep])
+        return self.stats
+
+    def _run_trace_scalar(self, keys: np.ndarray) -> CacheStats:
+        """The original per-key Python loop.
+
+        Kept as the reference implementation the parity tests compare
+        :meth:`run_trace` against.
+        """
         for key in np.asarray(keys, dtype=np.int64):
             self.access(int(key))
         return self.stats

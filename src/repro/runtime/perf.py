@@ -25,6 +25,31 @@ from repro.fpga.accelerator import FpgaPerformance
 
 
 @dataclass(frozen=True)
+class MemoryPerfEstimate:
+    """Tiered-memory view of a deployment's embedding lookups.
+
+    Attached to :class:`PerfEstimate` when a
+    :class:`~repro.memory.tiers.TierHierarchy` is bound to the serving
+    surface (``attach_tiers``): the warm steady-state hit rate and the
+    hit-rate-weighted effective lookup latency across the tiers.
+    """
+
+    #: Cache-policy registry name driving the hot tiers.
+    policy: str
+    #: Warm steady-state fraction of lookups served by the hot tier.
+    hit_rate: float
+    #: Hit-rate-weighted blend of the tier access latencies (ns/lookup).
+    effective_lookup_ns: float
+    #: The hot (fastest) tier's access latency — the all-hit floor.
+    hot_lookup_ns: float
+    #: Embedding lookups issued per query.
+    lookups_per_query: int
+    tiers: tuple[str, ...]
+    tier_fractions: tuple[float, ...]
+    tier_access_ns: tuple[float, ...]
+
+
+@dataclass(frozen=True)
 class PerfEstimate:
     """Normalised performance summary of one deployed engine (one node).
 
@@ -50,6 +75,10 @@ class PerfEstimate:
     #: The stage or phase limiting throughput (e.g. an MLP GEMM stage for
     #: the FPGA pipeline, ``"embedding"``/``"mlp"`` for the CPU engine).
     bottleneck: str
+    #: Tiered-memory lookup summary when a tier hierarchy is attached to
+    #: the serving surface; ``None`` (and omitted from :meth:`as_dict`)
+    #: for flat all-in-HBM deployments, keeping their output unchanged.
+    memory: MemoryPerfEstimate | None = None
 
     def __post_init__(self) -> None:
         if self.latency_us <= 0 or self.throughput_items_per_s <= 0:
@@ -71,6 +100,8 @@ class PerfEstimate:
     def as_dict(self) -> dict[str, object]:
         """JSON-serialisable summary (CLI ``--json`` output)."""
         out: dict[str, object] = asdict(self)
+        if self.memory is None:
+            del out["memory"]
         out["usd_per_million_queries"] = self.usd_per_million_queries
         return out
 

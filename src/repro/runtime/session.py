@@ -25,7 +25,9 @@ curves).
 
 from __future__ import annotations
 
+import zlib
 from abc import ABC, abstractmethod
+from dataclasses import replace
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -50,8 +52,11 @@ from repro.serving.queueing import (
 
 if TYPE_CHECKING:  # lazy at runtime: lab/capacity build on sessions
     from repro.deploy.capacity import SlaFleetPlan
+    from repro.memory.tiers import TierHierarchy
+    from repro.runtime.perf import MemoryPerfEstimate
     from repro.serving.arrivals import RateTrace
     from repro.serving.lab import LoadCurve
+    from repro.serving.popularity import PopularityModel
 
 
 class ServingSurface:
@@ -68,13 +73,175 @@ class ServingSurface:
 
     Implementors provide ``backend`` (a stable display/registry name),
     :meth:`perf`, and :meth:`_serve`.
+
+    Any surface can additionally be bound to a tiered memory hierarchy
+    (:meth:`attach_tiers`): lookups then pay hit-rate-dependent latency
+    under skewed key popularity, ``serve`` accepts a ``tier_warmup``
+    knob to contrast warm steady-state against cold-start behaviour,
+    and :meth:`perf` carries a ``memory`` block.  Without an attached
+    hierarchy every output is byte-identical to the flat all-in-HBM
+    model.
     """
 
     backend: str
+    #: Tiered embedding storage bound to this surface (None = flat).
+    tier_hierarchy: "TierHierarchy | None" = None
+    #: Key-popularity model driving the tier caches.
+    tier_popularity: "PopularityModel | None" = None
+    #: Seed folded into every tier simulation (content-addressed).
+    tier_seed: int = 0
+    #: Embedding lookups issued per served query.
+    _tier_lookups: int = 1
 
     def perf(self) -> PerfEstimate:
         """Normalised sustained performance of one deployed unit."""
         raise NotImplementedError
+
+    # -- tiered memory -------------------------------------------------------
+
+    def attach_tiers(
+        self,
+        hierarchy: "TierHierarchy",
+        *,
+        popularity: "PopularityModel | None" = None,
+        lookups_per_query: int | None = None,
+        seed: int = 0,
+    ) -> "ServingSurface":
+        """Bind a tiered memory hierarchy to this surface (returns self).
+
+        From here on, every ``serve``/``sweep``/``serve_trace`` call
+        draws per-query lookup keys from ``popularity`` (default: Zipf
+        over the deployed model's rows, or 8x the hot tier when no
+        model is in reach), cascades them through the hierarchy's
+        caches, and adds the resulting tier penalty to each query's
+        completion time.  ``lookups_per_query`` defaults to the model's
+        ``lookups_per_inference``.  ``serve(..., tier_warmup=0)`` serves
+        cold (fresh caches); the default pre-warms with the hierarchy's
+        ``warm_accesses`` steady-state prefix.
+        """
+        from repro.serving.popularity import PopularityModel
+
+        if popularity is None:
+            model = self._tier_model()
+            if model is not None:
+                rows = sum(t.rows for t in model.tables)
+            else:
+                rows = 8 * max(
+                    1, hierarchy.hot.capacity_rows(hierarchy.row_bytes)
+                )
+            popularity = PopularityModel(rows=rows)
+        if lookups_per_query is None:
+            model = self._tier_model()
+            lookups_per_query = (
+                model.lookups_per_inference if model is not None else 1
+            )
+        if lookups_per_query <= 0:
+            raise ValueError(
+                f"lookups_per_query must be positive, "
+                f"got {lookups_per_query}"
+            )
+        self.tier_hierarchy = hierarchy
+        self.tier_popularity = popularity
+        self.tier_seed = seed
+        self._tier_lookups = int(lookups_per_query)
+        self._tier_penalty_cache: dict[
+            tuple[int, int, int], np.ndarray
+        ] = {}
+        self._perf_cache = None  # perf() now carries a memory block
+        return self
+
+    def _tier_model(self):
+        """The deployed ModelSpec, if this surface can name one."""
+        model = getattr(self, "model", None)
+        if model is not None:
+            return model
+        replicas = getattr(self, "replicas", None)
+        if replicas:
+            return replicas[0].model
+        return None
+
+    def _memory_estimate(self) -> "MemoryPerfEstimate | None":
+        """Warm steady-state tier stats for :meth:`perf` (or None)."""
+        hierarchy = self.tier_hierarchy
+        if hierarchy is None:
+            return None
+        from repro.runtime.perf import MemoryPerfEstimate
+        from repro.serving.lab import lab_seed
+
+        rng = np.random.default_rng(
+            lab_seed(self.tier_seed, "tiering", "perf")
+        )
+        popularity = self.tier_popularity
+        assert popularity is not None
+        measure = max(1, hierarchy.sim_queries) * self._tier_lookups
+        warm_keys = popularity.sample(rng, hierarchy.warm_accesses)
+        keys = popularity.sample(rng, measure)
+        stats = hierarchy.simulate(keys, warmup_keys=warm_keys)
+        return MemoryPerfEstimate(
+            policy=hierarchy.policy,
+            hit_rate=stats.hit_rate,
+            effective_lookup_ns=stats.effective_ns,
+            hot_lookup_ns=hierarchy.hot.access_ns,
+            lookups_per_query=self._tier_lookups,
+            tiers=stats.tiers,
+            tier_fractions=stats.tier_fractions,
+            tier_access_ns=stats.access_ns,
+        )
+
+    def _tier_penalty(
+        self, arrivals_ns: np.ndarray, warmup: int
+    ) -> np.ndarray:
+        """Per-query tier latency penalty (ns) for one arrival stream.
+
+        Content-addressed and memoised: the same arrivals under the
+        same warm-up always produce the same penalties, preserving the
+        byte-identical ``--json`` guarantees.  At most ``sim_queries``
+        queries are simulated through the cache cascade; the penalty
+        pattern tiles across longer streams.
+        """
+        from repro.serving.lab import lab_seed
+
+        hierarchy = self.tier_hierarchy
+        popularity = self.tier_popularity
+        assert hierarchy is not None and popularity is not None
+        n = arrivals_ns.size
+        simulated = min(n, hierarchy.sim_queries)
+        digest = zlib.crc32(
+            np.ascontiguousarray(arrivals_ns[:simulated]).tobytes()
+        )
+        cache: dict[tuple[int, int, int], np.ndarray] = getattr(
+            self, "_tier_penalty_cache", None
+        ) or {}
+        self._tier_penalty_cache = cache
+        key = (n, warmup, digest)
+        per_query = cache.get(key)
+        if per_query is None:
+            lookups = self._tier_lookups
+            rng = np.random.default_rng(
+                lab_seed(self.tier_seed, "tiering", warmup, digest)
+            )
+            t_s = np.repeat(arrivals_ns[:simulated], lookups) / 1e9
+            keys = popularity.sample(
+                rng, simulated * lookups, t_s=t_s
+            )
+            if warmup > 0:
+                warm_keys = popularity.sample(
+                    rng, warmup, t_s=float(arrivals_ns[0]) / 1e9
+                )
+                assigned = hierarchy.assign_tiers(
+                    np.concatenate([warm_keys, keys])
+                )[warmup:]
+            else:
+                assigned = hierarchy.assign_tiers(keys)
+            per_query = (
+                hierarchy.penalty_ns(assigned)
+                .reshape(simulated, lookups)
+                .sum(axis=1)
+            )
+            cache[key] = per_query
+        if n > per_query.size:
+            return per_query[np.arange(n, dtype=np.int64) % per_query.size]
+        return per_query
 
     def _serve(
         self, arrivals_ns: np.ndarray, **server_knobs: object
@@ -96,14 +263,42 @@ class ServingSurface:
         trace replay :meth:`serve_trace`; the serving lab
         (:mod:`repro.serving.lab`) builds latency-under-load curves from
         this method across all backends and clusters.
+
+        With a tier hierarchy attached (:meth:`attach_tiers`), the
+        optional ``tier_warmup`` knob sets how many steady-state
+        accesses pre-warm the caches before the stream: ``0`` serves
+        cold (a freshly provisioned node), the default ``None`` uses
+        the hierarchy's ``warm_accesses`` (warm steady state).  Each
+        query's completion then carries its simulated tier penalty.
         """
+        tier_warmup = server_knobs.pop("tier_warmup", None)
+        if tier_warmup is not None and self.tier_hierarchy is None:
+            raise TypeError(
+                f"{self.backend}: tier_warmup requires an attached "
+                "tier hierarchy (attach_tiers)"
+            )
         arrivals = np.asarray(arrivals_ns, dtype=np.float64)
         if arrivals.size == 0:
             raise ValueError(
                 f"{self.backend}: cannot serve an empty arrival stream "
                 "(raise the rate or the duration)"
             )
-        return self._serve(arrivals, **server_knobs)
+        result = self._serve(arrivals, **server_knobs)
+        if self.tier_hierarchy is None:
+            return result
+        warmup = (
+            self.tier_hierarchy.warm_accesses
+            if tier_warmup is None
+            else int(tier_warmup)
+        )
+        if warmup < 0:
+            raise ValueError(f"tier_warmup must be >= 0, got {warmup}")
+        # The cluster path sorts internally; align penalties with the
+        # stream the result actually reports.
+        penalty = self._tier_penalty(result.arrivals_ns, warmup)
+        return replace(
+            result, completions_ns=result.completions_ns + penalty
+        )
 
     def serve_trace(
         self,
@@ -192,9 +387,16 @@ class Session(ServingSurface, ABC):
         """Build this backend's normalised performance estimate."""
 
     def perf(self) -> PerfEstimate:
-        """Normalised performance estimate for one node (cached)."""
+        """Normalised performance estimate for one node (cached).
+
+        Carries a ``memory`` block when a tier hierarchy is attached.
+        """
         if self._perf_cache is None:
-            self._perf_cache = self._estimate_perf()
+            estimate = self._estimate_perf()
+            memory = self._memory_estimate()
+            if memory is not None:
+                estimate = replace(estimate, memory=memory)
+            self._perf_cache = estimate
         return self._perf_cache
 
     @abstractmethod

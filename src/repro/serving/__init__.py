@@ -42,7 +42,9 @@ from repro.serving.lab import (
     lab_seed,
     load_sweep,
     session_lab,
+    tiering_lab,
 )
+from repro.serving.popularity import DEFAULT_ALPHA, PopularityModel
 from repro.serving.queueing import (
     BatchedServerSim,
     PipelineServerSim,
@@ -71,6 +73,9 @@ __all__ = [
     "lab_seed",
     "load_sweep",
     "session_lab",
+    "tiering_lab",
+    "DEFAULT_ALPHA",
+    "PopularityModel",
     "BatchedServerSim",
     "PipelineServerSim",
     "ServingResult",

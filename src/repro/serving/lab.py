@@ -271,3 +271,75 @@ def session_lab(
             name: curve.as_dict() for name, curve in curves.items()
         },
     }
+
+
+def tiering_lab(
+    surface: "Session",
+    process: str = "poisson",
+    utilisations: Sequence[float] = DEFAULT_UTILISATIONS,
+    duration_s: float = 0.2,
+    slo_ms: float = DEFAULT_SLA_MS,
+    slo_percentile: float = DEFAULT_SLO_PERCENTILE,
+    seed: int = 0,
+) -> dict[str, object]:
+    """Warm-vs-cold serving curves for a tier-attached surface.
+
+    The warm curve serves with the hierarchy's steady-state warm-up
+    (the default ``serve`` behaviour the SLA planner sizes against);
+    the cold curve forces ``tier_warmup=0`` — a freshly provisioned
+    node — through the same seeded streams, so the two curves differ
+    only in cache state.  Returns the JSON-ready block used by ``repro
+    tiers --json`` and the bench schema-v7 ``tiering`` block.
+    """
+    hierarchy = surface.tier_hierarchy
+    if hierarchy is None:
+        raise ValueError(
+            f"{surface.backend}: tiering_lab needs an attached tier "
+            "hierarchy (attach_tiers)"
+        )
+    warm = load_sweep(
+        surface,
+        process=process,
+        utilisations=utilisations,
+        duration_s=duration_s,
+        slo_ms=slo_ms,
+        slo_percentile=slo_percentile,
+        seed=seed,
+    )
+    cold = load_sweep(
+        surface,
+        process=process,
+        utilisations=utilisations,
+        duration_s=duration_s,
+        slo_ms=slo_ms,
+        slo_percentile=slo_percentile,
+        seed=seed,
+        tier_warmup=0,
+    )
+    memory = surface.perf().memory
+    assert memory is not None  # perf() builds it whenever tiers attach
+    popularity = surface.tier_popularity
+    return {
+        "backend": surface.backend,
+        "policy": hierarchy.policy,
+        "hierarchy": hierarchy.as_dict(),
+        "popularity": {
+            "rows": popularity.rows,
+            "alpha": popularity.alpha,
+            "drift_rows_per_s": popularity.drift_rows_per_s,
+        },
+        "steady_state": {
+            "hit_rate": memory.hit_rate,
+            "effective_lookup_ns": memory.effective_lookup_ns,
+            "hot_lookup_ns": memory.hot_lookup_ns,
+            "lookups_per_query": memory.lookups_per_query,
+            "tier_fractions": dict(
+                zip(memory.tiers, memory.tier_fractions)
+            ),
+        },
+        "slo_ms": slo_ms,
+        "slo_percentile": slo_percentile,
+        "duration_s": duration_s,
+        "warm": warm.as_dict(),
+        "cold": cold.as_dict(),
+    }

@@ -108,6 +108,16 @@ class TestConfig:
         with pytest.raises(ValueError, match="wall_clock_budget_multiplier"):
             BenchConfig(wall_clock_budget_multiplier=-3.0)
 
+    def test_tiering_knob_validation(self):
+        with pytest.raises(ValueError, match="tiering_alpha"):
+            BenchConfig(tiering_alpha=-0.1)
+        with pytest.raises(ValueError, match="tiering_hot_fraction"):
+            BenchConfig(tiering_hot_fraction=0.0)
+        with pytest.raises(ValueError, match="tiering_hot_fraction"):
+            BenchConfig(tiering_hot_fraction=0.5)
+        with pytest.raises(ValueError, match="unknown tiering_policy"):
+            run_bench(BenchConfig.quick_config(tiering_policy="belady"))
+
 
 class TestRunBench:
     def test_payload_validates(self, payload):
@@ -203,6 +213,36 @@ class TestRunBench:
         )
         payload = run_bench(quiet)
         assert payload["autoscale"] is None
+        assert validate_payload(payload) is payload
+
+    def test_tiering_block_present_and_consistent(self, payload, config):
+        tiering = payload["tiering"]
+        assert tiering is not None
+        assert tiering["model"] == config.models[0]
+        assert tiering["backend"] == config.resolved_backends()[0]
+        assert tiering["policy"] == config.tiering_policy
+        assert [t["name"] for t in tiering["hierarchy"]["tiers"]] == [
+            "hbm", "ddr", "host",
+        ]
+        assert tiering["popularity"]["alpha"] == config.tiering_alpha
+        steady = tiering["steady_state"]
+        assert 0.0 < steady["hit_rate"] <= 1.0
+        assert steady["effective_lookup_ns"] >= steady["hot_lookup_ns"]
+        # The block's whole point: cold caches cost tail latency.
+        for warm, cold in zip(
+            tiering["warm"]["points"], tiering["cold"]["points"]
+        ):
+            assert warm["rate_per_s"] == cold["rate_per_s"]
+            assert cold["p99_ms"] > warm["p99_ms"]
+        assert payload["config"]["tiering_policy"] == config.tiering_policy
+
+    def test_tiering_block_can_be_disabled(self):
+        quiet = BenchConfig.quick_config(
+            backends=("cpu",), batches=(1,), max_rows=128,
+            tiering_policy="", name="notier",
+        )
+        payload = run_bench(quiet)
+        assert payload["tiering"] is None
         assert validate_payload(payload) is payload
 
     def test_pipelined_engines_hold_sla_capacity(self, payload):
@@ -399,6 +439,45 @@ class TestValidator:
             with pytest.raises(BenchSchemaError, match=knob):
                 validate_payload(bad)
 
+    def test_rejects_missing_tiering_key(self, payload):
+        bad = copy.deepcopy(payload)
+        del bad["tiering"]
+        with pytest.raises(BenchSchemaError, match="tiering"):
+            validate_payload(bad)
+
+    def test_null_tiering_allowed(self, payload):
+        ok = copy.deepcopy(payload)
+        ok["tiering"] = None
+        assert validate_payload(ok) is ok
+
+    def test_rejects_bad_tiering_block(self, payload):
+        bad = copy.deepcopy(payload)
+        bad["tiering"]["steady_state"]["hit_rate"] = 1.5
+        with pytest.raises(BenchSchemaError, match="hit_rate"):
+            validate_payload(bad)
+        bad = copy.deepcopy(payload)
+        bad["tiering"]["hierarchy"]["tiers"] = (
+            bad["tiering"]["hierarchy"]["tiers"][:1]
+        )
+        with pytest.raises(BenchSchemaError, match="tiers"):
+            validate_payload(bad)
+        bad = copy.deepcopy(payload)
+        bad["tiering"]["hierarchy"]["tiers"][0]["access_ns"] = 0
+        with pytest.raises(BenchSchemaError, match="access_ns"):
+            validate_payload(bad)
+        bad = copy.deepcopy(payload)
+        bad["tiering"]["popularity"]["alpha"] = -1.0
+        with pytest.raises(BenchSchemaError, match="alpha"):
+            validate_payload(bad)
+
+    def test_rejects_missing_tiering_config_knobs(self, payload):
+        for knob in ("tiering_policy", "tiering_alpha",
+                     "tiering_hot_fraction"):
+            bad = copy.deepcopy(payload)
+            del bad["config"][knob]
+            with pytest.raises(BenchSchemaError, match=knob):
+                validate_payload(bad)
+
     def test_rejects_missing_serving_config_knobs(self, payload):
         for knob in ("slo_ms", "serve_duration_s", "serve_processes",
                      "serve_utilisations"):
@@ -565,6 +644,38 @@ class TestCompare:
         assert comparison["autoscale"] is None
         assert not any(
             "autoscale/elastic" in line for line in regressions(comparison)
+        )
+
+    def test_tiering_metrics_compared(self, payload):
+        comparison = compare_payloads(payload, payload)
+        assert set(comparison["tiering"]) == {
+            "hit_rate", "warm_p99_ms", "cold_p99_ms",
+        }
+        for record in comparison["tiering"].values():
+            assert record["delta_pct"] == 0.0
+
+    def test_tiering_hit_rate_drop_is_a_regression(self, payload):
+        worse = copy.deepcopy(payload)
+        worse["tiering"]["steady_state"]["hit_rate"] *= 0.5
+        lines = regressions(compare_payloads(payload, worse))
+        assert any(
+            "tiering/tiered: hit_rate fell 50.0%" in line for line in lines
+        )
+
+    def test_tiering_cold_p99_rise_is_a_regression(self, payload):
+        worse = copy.deepcopy(payload)
+        for point in worse["tiering"]["cold"]["points"]:
+            point["p99_ms"] *= 2.0
+        lines = regressions(compare_payloads(payload, worse))
+        assert any("cold_p99_ms rose 100.0%" in line for line in lines)
+
+    def test_missing_tiering_blocks_compare_gracefully(self, payload):
+        without = copy.deepcopy(payload)
+        without["tiering"] = None
+        comparison = compare_payloads(payload, without)
+        assert comparison["tiering"] is None
+        assert not any(
+            "tiering/tiered" in line for line in regressions(comparison)
         )
 
     def test_wall_clock_budget_gate(self, payload):
@@ -751,6 +862,33 @@ class TestCliBench:
             ["bench", "--quick", "--no-cluster", "--cluster-backend",
              "cpu", "--output", str(tmp_path / "x.json")]
         ) == 2
+
+    def test_no_tiering_flag(self, capsys, tmp_path):
+        assert main(
+            ["bench", "--quick", "--backend", "cpu", "--batch", "1",
+             "--max-rows", "128", "--no-tiering", "--json",
+             "--output", str(tmp_path / "nt.json")]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["tiering"] is None
+        assert validate_payload(payload) is payload
+        # Disabling and configuring tiering at once is contradictory.
+        assert main(
+            ["bench", "--quick", "--no-tiering", "--tiering-policy",
+             "lfu", "--output", str(tmp_path / "y.json")]
+        ) == 2
+
+    def test_tiering_policy_flag_round_trips(self, capsys, tmp_path):
+        assert main(
+            ["bench", "--quick", "--backend", "cpu", "--batch", "1",
+             "--max-rows", "128", "--tiering-policy", "lfu",
+             "--tiering-alpha", "1.2", "--json",
+             "--output", str(tmp_path / "tp.json")]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["tiering"]["policy"] == "lfu"
+        assert payload["config"]["tiering_policy"] == "lfu"
+        assert payload["config"]["tiering_alpha"] == 1.2
 
     WC_ARGS = [
         "bench", "--quick", "--backend", "cpu", "--batch", "1",

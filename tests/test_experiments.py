@@ -36,6 +36,7 @@ class TestHarness:
             "related_work",
             "compression",
             "cache_study",
+            "tiered_storage",
             "trace_scale",
         }
         assert set(EXPERIMENTS) == paper | extensions

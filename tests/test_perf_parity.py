@@ -314,6 +314,79 @@ class TestRoutingDecisionRegression:
 
 
 # ---------------------------------------------------------------------------
+# LRU row cache
+# ---------------------------------------------------------------------------
+
+
+class TestLruCacheParity:
+    """The stack-distance LRU rewrite vs the per-key ``access`` loop."""
+
+    @pytest.mark.parametrize("capacity", [1, 2, 7, 64, 1000])
+    @pytest.mark.parametrize("universe", [1, 3, 50, 2000])
+    def test_exact_trace_parity(self, capacity, universe):
+        from repro.memory.cache import LruRowCache
+
+        rng = np.random.default_rng(capacity * 1000 + universe)
+        keys = rng.integers(0, universe, size=4000)
+        fast = LruRowCache(capacity)
+        slow = LruRowCache(capacity)
+        fast.run_trace(keys)
+        slow._run_trace_scalar(keys)
+        assert fast.stats == slow.stats
+        assert list(fast._lru) == list(slow._lru)
+
+    def test_zipf_trace_parity(self):
+        from repro.memory.cache import LruRowCache
+        from repro.models.distributions import zipf_indices
+
+        rng = np.random.default_rng(3)
+        keys = zipf_indices(rng, 10_000, 20_000, 1.05)
+        fast = LruRowCache(256)
+        slow = LruRowCache(256)
+        assert (
+            fast.run_trace(keys).hit_rate
+            == slow._run_trace_scalar(keys).hit_rate
+        )
+
+    def test_warm_cache_parity(self):
+        # run_trace on a non-empty cache must score only the new suffix
+        # and leave the same LRU contents as the scalar loop.
+        from repro.memory.cache import LruRowCache
+
+        rng = np.random.default_rng(9)
+        first = rng.integers(0, 300, size=1500)
+        second = rng.integers(0, 300, size=1500)
+        fast = LruRowCache(128)
+        slow = LruRowCache(128)
+        fast.run_trace(first)
+        slow._run_trace_scalar(first)
+        fast.run_trace(second)
+        slow._run_trace_scalar(second)
+        assert fast.stats == slow.stats
+        assert list(fast._lru) == list(slow._lru)
+
+    @pytest.mark.parametrize("n", [0, 1, 2, 3, 5, 17, 64, 129])
+    def test_count_smaller_before_matches_naive(self, n):
+        from repro.memory.cache import _count_smaller_before
+
+        rng = np.random.default_rng(n)
+        values = rng.integers(-50, 50, size=n)
+        naive = np.array(
+            [np.count_nonzero(values[:i] < values[i]) for i in range(n)],
+            dtype=np.int64,
+        )
+        assert np.array_equal(_count_smaller_before(values), naive)
+
+    def test_empty_trace_is_a_no_op(self):
+        from repro.memory.cache import LruRowCache
+
+        cache = LruRowCache(4)
+        stats = cache.run_trace(np.array([], dtype=np.int64))
+        assert stats.accesses == 0
+        assert stats.hit_rate == 0.0
+
+
+# ---------------------------------------------------------------------------
 # Autoscale window replay
 # ---------------------------------------------------------------------------
 
