@@ -9,7 +9,7 @@ claims.
 
 For *cross-backend* numbers, the machine-readable entry point is
 ``repro bench`` (the :mod:`repro.bench` subsystem): it sweeps registered
-backends × models × batch sizes into a schema-versioned
+backends x models x batch sizes into a schema-versioned
 ``BENCH_<name>.json`` that CI validates and archives on every push.  The
 modules here need pytest-benchmark and an explicit collection override::
 

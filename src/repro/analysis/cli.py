@@ -1,0 +1,88 @@
+"""Command-line front-end: ``python -m repro.analysis``.
+
+The ``repro lint`` CLI verb shares :func:`run_and_report`, so both
+entry points have identical output and exit-code semantics:
+
+* ``0`` — clean tree (no findings),
+* ``1`` — findings reported,
+* ``2`` — usage error (missing path, unknown rule code).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.analysis.context import LintUsageError
+from repro.analysis.engine import run_lint
+from repro.analysis.registry import UnknownRuleError, rules_epilog
+
+
+def parse_select(
+    values: Sequence[str] | None,
+) -> list[str] | None:
+    """``--select`` values, each possibly comma-separated."""
+    if not values:
+        return None
+    codes: list[str] = []
+    for value in values:
+        codes.extend(
+            code.strip() for code in value.split(",") if code.strip()
+        )
+    return codes or None
+
+
+def run_and_report(
+    paths: Sequence[str],
+    *,
+    select: Sequence[str] | None = None,
+    as_json: bool = False,
+) -> int:
+    """Lint, print the report, and return the process exit code."""
+    try:
+        report = run_lint(paths, select=parse_select(select))
+    except (LintUsageError, UnknownRuleError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if as_json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return 0 if report.clean else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "repro lint: AST invariant checker for determinism, "
+            "registry hygiene, and parity-pair coverage"
+        ),
+        epilog=rules_epilog()
+        + "\n\nsuppress per line with: "
+        "# repro-lint: noqa[RPR00x] -- justification",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "paths", nargs="+",
+        help="files or directories to lint (e.g. src tests)",
+    )
+    parser.add_argument(
+        "--select", action="append", default=None, metavar="RULES",
+        help="restrict to the given rule code(s); repeatable or "
+        "comma-separated (default: every registered rule)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="deterministic machine-readable report on stdout",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return run_and_report(
+        args.paths, select=args.select, as_json=args.json
+    )

@@ -1,0 +1,51 @@
+"""Lint findings: the one record type every rule emits.
+
+A :class:`Finding` is a frozen, totally-ordered value — reports sort
+findings by ``(path, line, col, rule, message)`` so that ``repro lint
+--json`` output is byte-identical across runs on the same tree (the
+property the linter itself exists to defend).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Engine-level pseudo-rule: malformed suppressions, unparseable files.
+#: Not registered (it has no AST check) and never suppressible.
+ENGINE_RULE = "RPR000"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    """Posix-style path relative to the lint root."""
+
+    line: int
+    """1-based line of the offending node."""
+
+    col: int
+    """0-based column of the offending node."""
+
+    rule: str
+    """Rule code (``RPR001`` ... ), or ``RPR000`` for engine findings."""
+
+    message: str
+    """One-line description of the violation."""
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        """``path:line:col: RPR00x message`` (clickable in editors)."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule} {self.message}"
+        )

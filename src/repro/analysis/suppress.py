@@ -1,0 +1,114 @@
+"""Per-line suppression comments.
+
+Syntax (one per line, on the line the finding points at)::
+
+    risky_call()  # repro-lint: noqa[RPR002] -- measures real wall clock
+
+* the bracket lists one or more comma-separated rule codes;
+* the ``--`` justification is **required** — a suppression without a
+  written reason is itself reported (as ``RPR000``), so every waived
+  invariant carries its rationale in the diff forever.
+
+Comments are found with :mod:`tokenize`, not string scanning, so
+suppression-shaped text inside string literals (e.g. lint-test
+fixtures) is ignored.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+
+from repro.analysis.findings import ENGINE_RULE
+from repro.analysis.registry import RULE_CODE_RE
+
+#: Anything containing this marker is meant to be a suppression; if it
+#: then fails to parse, that is a finding, not a silent no-op.
+MARKER = "repro-lint"
+
+_NOQA_RE = re.compile(
+    r"#\s*repro-lint:\s*noqa\[(?P<codes>[^\]]*)\]"
+    r"(?:\s*--\s*(?P<why>.*\S))?\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed ``# repro-lint: noqa[...] -- why`` comment."""
+
+    line: int
+    codes: tuple[str, ...]
+    justification: str
+
+    def covers(self, rule: str) -> bool:
+        return rule in self.codes
+
+
+def scan_suppressions(
+    source: str,
+) -> tuple[dict[int, Suppression], list[tuple[int, str]]]:
+    """Parse every suppression comment in ``source``.
+
+    Returns ``(by_line, problems)`` where ``problems`` are
+    ``(line, message)`` pairs for malformed suppressions — missing
+    codes, bad code syntax, or a missing justification.
+    """
+    by_line: dict[int, Suppression] = {}
+    problems: list[tuple[int, str]] = []
+    try:
+        tokens = list(
+            tokenize.generate_tokens(io.StringIO(source).readline)
+        )
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # An unparseable file is reported by the engine as a syntax
+        # problem already; no suppressions can apply to it.
+        return {}, []
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT or MARKER not in tok.string:
+            continue
+        line = tok.start[0]
+        match = _NOQA_RE.search(tok.string)
+        if match is None:
+            problems.append((
+                line,
+                "malformed suppression (expected "
+                "'# repro-lint: noqa[RPR...] -- justification')",
+            ))
+            continue
+        codes = tuple(
+            c.strip() for c in match.group("codes").split(",")
+            if c.strip()
+        )
+        why = (match.group("why") or "").strip()
+        bad = [c for c in codes if not RULE_CODE_RE.match(c)]
+        if not codes:
+            problems.append(
+                (line, "suppression lists no rule codes")
+            )
+            continue
+        if bad:
+            problems.append((
+                line,
+                f"suppression lists malformed rule code(s) "
+                f"{', '.join(bad)}",
+            ))
+            continue
+        if ENGINE_RULE in codes:
+            problems.append((
+                line,
+                f"{ENGINE_RULE} (engine findings) cannot be "
+                "suppressed",
+            ))
+            continue
+        if not why:
+            problems.append((
+                line,
+                "suppression requires a justification after '--'",
+            ))
+            continue
+        by_line[line] = Suppression(
+            line=line, codes=codes, justification=why
+        )
+    return by_line, problems

@@ -686,20 +686,20 @@ def simulate_autoscale(
         raise ValueError(f"initial_nodes must be >= 1, got {initial_nodes}")
     initial_nodes = max(min_nodes, min(max_nodes, initial_nodes))
 
-    run = dict(
-        n_windows=windows,
-        interval_s=interval_s,
-        min_nodes=min_nodes,
-        max_nodes=max_nodes,
-        provision_delay_s=provision_delay_s,
-        cooldown_s=cooldown_s,
-        slo_ms=slo_ms,
-        slo_percentile=slo_percentile,
-        per_node_qps=per_node_qps,
-        service_ms=perf.serving_latency_ms,
-        seed=seed,
-        plan=plan,
-    )
+    run = {
+        "n_windows": windows,
+        "interval_s": interval_s,
+        "min_nodes": min_nodes,
+        "max_nodes": max_nodes,
+        "provision_delay_s": provision_delay_s,
+        "cooldown_s": cooldown_s,
+        "slo_ms": slo_ms,
+        "slo_percentile": slo_percentile,
+        "per_node_qps": per_node_qps,
+        "service_ms": perf.serving_latency_ms,
+        "seed": seed,
+        "plan": plan,
+    }
     timeline = _run_policy(
         surface, trace, policy_obj, initial_nodes=initial_nodes, **run
     )

@@ -1,7 +1,7 @@
 """Reproducible cross-backend benchmarking (``repro bench``).
 
 One subsystem behind every comparative number in the repository: a sweep
-of registered backends × model specs × batch sizes
+of registered backends x model specs x batch sizes
 (:func:`run_bench` / :class:`BenchConfig`), a schema-versioned JSON
 artifact (``BENCH_<name>.json``, :mod:`repro.bench.schema`), and
 regression deltas between two artifacts (:func:`compare_payloads`).  The

@@ -1,4 +1,4 @@
-"""The benchmark sweep: registered backends × model specs × batch sizes.
+"""The benchmark sweep: registered backends x model specs x batch sizes.
 
 This is the machine-readable successor to the ad-hoc ``benchmarks/bench_*``
 scripts: one :func:`run_bench` call deploys every requested (model,

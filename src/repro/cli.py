@@ -987,8 +987,17 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return gate()
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.cli import run_and_report
+
+    return run_and_report(
+        args.paths, select=args.select, as_json=args.json
+    )
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     import repro
+    from repro.analysis import available_rules
     from repro.autoscale import available_scalers
     from repro.cluster import available_policies
     from repro.distplan import available_strategies
@@ -1015,6 +1024,7 @@ def _cmd_info(args: argparse.Namespace) -> int:
                     "scaler_policies": list(available_scalers()),
                     "sharding_strategies": list(available_strategies()),
                     "cache_policies": list(available_cache_policies()),
+                    "lint_rules": list(available_rules()),
                     "models": models,
                     "experiments": list(EXPERIMENTS),
                 },
@@ -1028,6 +1038,7 @@ def _cmd_info(args: argparse.Namespace) -> int:
     print(f"scaler policies: {', '.join(available_scalers())}")
     print(f"sharding strategies: {', '.join(available_strategies())}")
     print(f"cache policies: {', '.join(available_cache_policies())}")
+    print(f"lint rules: {', '.join(available_rules())}")
     print("\nproduction models (+ benchmark family):")
     for name, factory in MODEL_FACTORIES.items():
         m = factory()
@@ -1046,6 +1057,7 @@ def _registry_epilog() -> str:
     hard-coded strings, so backends or routing policies registered by
     plugins (or future PRs) appear in the help text automatically.
     """
+    from repro.analysis import available_rules
     from repro.autoscale import available_scalers
     from repro.cluster import available_policies
     from repro.distplan import available_strategies
@@ -1061,7 +1073,8 @@ def _registry_epilog() -> str:
         f"registered sharding strategies: "
         f"{' | '.join(available_strategies())}\n"
         f"registered cache policies: "
-        f"{' | '.join(available_cache_policies())}"
+        f"{' | '.join(available_cache_policies())}\n"
+        f"registered lint rules: {' | '.join(available_rules())}"
     )
 
 
@@ -1590,6 +1603,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_bench.add_argument("--json", action="store_true")
     p_bench.set_defaults(func=_cmd_bench)
+
+    from repro.analysis import rules_epilog
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="AST invariant checker over the repo's sources",
+        description=(
+            "Check determinism, registry-hygiene, and parity-pair "
+            "invariants (exit 0 clean, 1 findings, 2 usage error)."
+        ),
+        epilog=rules_epilog()
+        + "\n\nsuppress per line with: "
+        "# repro-lint: noqa[RPR00x] -- justification",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    p_lint.add_argument(
+        "paths", nargs="+",
+        help="files or directories to lint (e.g. src tests)",
+    )
+    p_lint.add_argument(
+        "--select", action="append", default=None, metavar="RULES",
+        help="restrict to the given rule code(s); repeatable or "
+        "comma-separated (default: every registered rule)",
+    )
+    p_lint.add_argument("--json", action="store_true")
+    p_lint.set_defaults(func=_cmd_lint)
 
     p_info = sub.add_parser("info", help="library overview")
     p_info.add_argument("--json", action="store_true")

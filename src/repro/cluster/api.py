@@ -1,7 +1,7 @@
 """One-call cluster deployment: :func:`deploy_cluster`.
 
 The convenience frontend over the backend and routing registries: name
-the replica mix (models × backends × counts), name a router, get a live
+the replica mix (models x backends x counts), name a router, get a live
 :class:`~repro.cluster.cluster.Cluster` back — the many-replica
 generalisation of :func:`repro.deploy_model`, which remains the trivial
 one-replica case.

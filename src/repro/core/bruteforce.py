@@ -43,9 +43,9 @@ def set_partitions(
         for i, group in enumerate(sub):
             if max_group_size is not None and len(group) + 1 > max_group_size:
                 continue
-            yield sub[:i] + [(first, *group)] + sub[i + 1 :]
+            yield [*sub[:i], (first, *group), *sub[i + 1 :]]
         # ...or starts its own.
-        yield [(first,)] + sub
+        yield [(first,), *sub]
 
 
 def brute_force_plan(

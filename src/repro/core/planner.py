@@ -52,7 +52,7 @@ class PlannerConfig:
         merging.
     max_product_bytes:
         A pair is merged only if the product stays under this size, keeping
-        the storage overhead "marginal" (paper: 1.9–3.2 % of the model).
+        the storage overhead "marginal" (paper: 1.9-3.2 % of the model).
     enable_cartesian:
         Setting this to ``False`` restricts the search to allocation only —
         the "HBM-only" configuration of Tables 3 and 4.

@@ -43,11 +43,11 @@ def simulated_lookup_ns(
             per_bank_groups.setdefault(bank_id, []).append(group)
 
     worst = 0.0
-    for bank_id, groups in per_bank_groups.items():
+    for groups in per_bank_groups.values():
         sim = DramChannelSim(DramTimingParams())
         specs = [placement.group_spec(g) for g in groups]
         # Address-space offsets so co-resident tables hit different rows.
-        offsets = np.cumsum([0] + [s.nbytes for s in specs[:-1]])
+        offsets = np.cumsum([0, *(s.nbytes for s in specs[:-1])])
         for _ in range(inferences):
             for spec, offset in zip(specs, offsets):
                 for _ in range(spec.lookups_per_inference):

@@ -45,7 +45,7 @@ def _row(
     stage: str,
     queries: int,
     wall_s: float,
-    result: object = None,
+    result: object | None = None,
 ) -> dict[str, object]:
     row: dict[str, object] = {
         "stage": stage,
@@ -71,29 +71,32 @@ def run() -> ExperimentResult:
 
     rows: list[dict[str, object]] = []
 
-    started = time.perf_counter()
+    started = time.perf_counter()  # repro-lint: noqa[RPR002] -- this experiment measures real wall-clock throughput; elapsed seconds are its payload
     trace = diurnal_trace(rate, duration_s)
     arrivals = trace_arrivals(np.random.default_rng(SEED), trace)
     n = int(arrivals.size)
-    rows.append(_row("generate (diurnal thinning)", n, time.perf_counter() - started))
+    elapsed = time.perf_counter() - started  # repro-lint: noqa[RPR002] -- this experiment measures real wall-clock throughput; elapsed seconds are its payload
+    rows.append(_row("generate (diurnal thinning)", n, elapsed))
 
-    started = time.perf_counter()
+    started = time.perf_counter()  # repro-lint: noqa[RPR002] -- this experiment measures real wall-clock throughput; elapsed seconds are its payload
     served = fpga.serve(arrivals)
+    elapsed = time.perf_counter() - started  # repro-lint: noqa[RPR002] -- this experiment measures real wall-clock throughput; elapsed seconds are its payload
     rows.append(
-        _row("pipelined serve (fpga)", n, time.perf_counter() - started, served)
+        _row("pipelined serve (fpga)", n, elapsed, served)
     )
 
     # The batched CPU engine sustains a fraction of the FPGA's rate;
     # stretching the timestamps rescales the same diurnal stream to the
     # same relative load without paying for a second 10M-sample draw.
-    started = time.perf_counter()
+    started = time.perf_counter()  # repro-lint: noqa[RPR002] -- this experiment measures real wall-clock throughput; elapsed seconds are its payload
     cpu_rate = MEAN_UTILISATION * cpu.perf().throughput_items_per_s
     served = cpu.serve(arrivals * (rate / cpu_rate))
+    elapsed = time.perf_counter() - started  # repro-lint: noqa[RPR002] -- this experiment measures real wall-clock throughput; elapsed seconds are its payload
     rows.append(
-        _row("batched serve (cpu)", n, time.perf_counter() - started, served)
+        _row("batched serve (cpu)", n, elapsed, served)
     )
 
-    started = time.perf_counter()
+    started = time.perf_counter()  # repro-lint: noqa[RPR002] -- this experiment measures real wall-clock throughput; elapsed seconds are its payload
     from repro.cluster import ReplicaSpec, deploy_cluster
 
     cluster = deploy_cluster(
@@ -106,11 +109,12 @@ def run() -> ExperimentResult:
         MEAN_UTILISATION * cluster.perf().throughput_items_per_s
     )
     served = cluster.serve(arrivals * (rate / cluster_rate))
+    elapsed = time.perf_counter() - started  # repro-lint: noqa[RPR002] -- this experiment measures real wall-clock throughput; elapsed seconds are its payload
     rows.append(
         _row(
             f"routed cluster ({'+'.join(CLUSTER_TIERS)}, {ROUTER})",
             n,
-            time.perf_counter() - started,
+            elapsed,
             served,
         )
     )

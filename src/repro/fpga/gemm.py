@@ -60,7 +60,7 @@ class GemmStageModel:
         to PEs and when collecting results.
     stage_overhead_cycles:
         Fixed per-sub-stage control/FIFO overhead (calibrated so summed
-        stage latencies reproduce the paper's 16.3–31.0 us end-to-end
+        stage latencies reproduce the paper's 16.3-31.0 us end-to-end
         single-item latency).
     """
 

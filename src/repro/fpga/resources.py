@@ -20,7 +20,7 @@ precision, feature length) is the model.
 
 Clock frequency is a timing-closure outcome that cannot be derived
 analytically; :func:`achieved_frequency_mhz` reproduces the paper's
-measured 120–140 MHz values (high utilisation forces cross-die routing and
+measured 120-140 MHz values (high utilisation forces cross-die routing and
 lower clocks).
 """
 

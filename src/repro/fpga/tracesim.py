@@ -79,7 +79,7 @@ def per_query_lookup_ns(
         residents.setdefault(bank_id, []).append(group)
     for bank_id, groups in residents.items():
         specs = [placement.group_spec(g) for g in groups]
-        starts = np.cumsum([0] + [s.nbytes for s in specs[:-1]])
+        starts = np.cumsum([0, *(s.nbytes for s in specs[:-1])])
         offsets[bank_id] = {
             g: int(start) for g, start in zip(groups, starts)
         }

@@ -207,9 +207,9 @@ def get_cache_policy(name: str) -> CachePolicy:
     try:
         return _REGISTRY[name]
     except KeyError:
-        available = ", ".join(sorted(_REGISTRY)) or "(none)"
         raise UnknownCachePolicyError(
-            f"unknown cache policy {name!r}; available: {available}"
+            f"unknown cache policy {name!r}; available: "
+            f"{', '.join(sorted(_REGISTRY)) or '(none)'}"
         ) from None
 
 

@@ -15,7 +15,7 @@ deterministic synthetic inventories that reproduce:
   2 to 1 (small model) and from 3 to 2 (large model), as in Table 3.
 
 :func:`dlrm_rmc2` builds the Facebook benchmark configurations of Table 5
-(8–12 small tables, 4 lookups each, embedding dims 4–64).
+(8-12 small tables, 4 lookups each, embedding dims 4-64).
 """
 
 from __future__ import annotations
@@ -144,7 +144,7 @@ def production_small() -> ModelSpec:
 
     Tier structure (dims sum to 352 across 47 tables):
 
-    * 10 tiny dim-4 tables (100–800 rows) — Cartesian merge candidates;
+    * 10 tiny dim-4 tables (100-800 rows) — Cartesian merge candidates;
       rule-3 pairing yields 5 products of ~2.6 MB each (~1 % storage
       overhead), cutting the table count as in Table 3 (47 -> 42);
     * 8 dim-4 tables of ~2 600 rows (~41 KiB) — sized to occupy exactly one
@@ -174,13 +174,13 @@ def production_large() -> ModelSpec:
 
     Tier structure (dims sum to 876 across 98 tables):
 
-    * 22 tiny dim-4 tables (100–400 rows) and 22 dim-4 tables of ~2 550–
+    * 22 tiny dim-4 tables (100-400 rows) and 22 dim-4 tables of ~2 550-
       2 600 rows — together the 44 Cartesian candidates whose rule-3
       pairing yields 22 products (~2.4 % storage overhead), driving the
       DRAM table count to 68 and the access rounds from 3 to 2 (Table 3);
-    * 8 dim-8 tables of 1 330–1 344 rows (~42 KiB) — one per on-chip bank;
+    * 8 dim-8 tables of 1 330-1 344 rows (~42 KiB) — one per on-chip bank;
     * 16 medium dim-8 and 26 dim-16 tables — DRAM residents;
-    * 4 dim-23 tables of 30–42M rows — the ~13 GB bulk ("hundreds of
+    * 4 dim-23 tables of 30-42M rows — the ~13 GB bulk ("hundreds of
       millions of entries" scale, section 2.2).
     """
     tiny = log_spaced_rows(22, 100, 400)
@@ -210,7 +210,7 @@ def dlrm_rmc2(
     """A DLRM-RMC2 configuration from the Facebook benchmark (Table 5).
 
     The benchmark publishes ranges, not exact parameters (section 5.4.2):
-    8–12 "small" tables, each looked up 4 times (32–48 lookups total).  As
+    8-12 "small" tables, each looked up 4 times (32-48 lookups total).  As
     in the paper we assume each table fits one HBM bank (<= 256 MB) and
     sweep embedding dims over {4, 8, 16, 32, 64}.  The default 1M rows x
     dim 64 x 4 B = 244 MB respects the bank bound at every swept dim.

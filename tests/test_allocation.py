@@ -113,7 +113,7 @@ class TestAllocateToBanks:
             singleton_groups(specs), by_id(specs), tiny_memory, timing
         )
         per_bank: dict[int, int] = {}
-        for g, b in placement.bank_of.items():
+        for b in placement.bank_of.values():
             kind = tiny_memory.bank(b).kind
             if kind.is_dram:
                 per_bank[b] = per_bank.get(b, 0) + 1
@@ -124,8 +124,9 @@ class TestAllocateToBanks:
         timing = default_timing_model()
         # 5 tables for 4 DRAM channels: caching the tiny one on-chip avoids
         # a second access round on some channel.
-        specs = [TableSpec(0, rows=16, dim=4)] + [
-            TableSpec(i, rows=4096, dim=16) for i in range(1, 6)
+        specs = [
+            TableSpec(0, rows=16, dim=4),
+            *(TableSpec(i, rows=4096, dim=16) for i in range(1, 6)),
         ]
         placement = allocate_to_banks(
             singleton_groups(specs), by_id(specs), tiny_memory, timing

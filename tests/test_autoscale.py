@@ -1,6 +1,7 @@
 """Tests for the autoscaling control plane (``repro.autoscale``)."""
 
 import json
+from typing import ClassVar
 
 import pytest
 
@@ -36,27 +37,27 @@ def fpga_session():
 
 def observation(**overrides):
     """A hand-built observation around sane defaults."""
-    base = dict(
-        window=3,
-        t_s=0.15,
-        interval_s=0.05,
-        nodes=10,
-        pending_nodes=0,
-        offered_rate_per_s=600_000.0,
-        utilisation=0.6,
-        queue_depth=1000.0,
-        mean_ms=20.0,
-        tail_ms=25.0,
-        sla_attainment=1.0,
-        slo_ms=30.0,
-        slo_percentile=99.0,
-        per_node_qps=100_000.0,
-        service_ms=20.0,
-        min_nodes=1,
-        max_nodes=1_000_000,
-        provision_delay_s=0.05,
-        trace=RateTrace.constant(600_000.0, 1.0),
-    )
+    base = {
+        "window": 3,
+        "t_s": 0.15,
+        "interval_s": 0.05,
+        "nodes": 10,
+        "pending_nodes": 0,
+        "offered_rate_per_s": 600_000.0,
+        "utilisation": 0.6,
+        "queue_depth": 1000.0,
+        "mean_ms": 20.0,
+        "tail_ms": 25.0,
+        "sla_attainment": 1.0,
+        "slo_ms": 30.0,
+        "slo_percentile": 99.0,
+        "per_node_qps": 100_000.0,
+        "service_ms": 20.0,
+        "min_nodes": 1,
+        "max_nodes": 1_000_000,
+        "provision_delay_s": 0.05,
+        "trace": RateTrace.constant(600_000.0, 1.0),
+    }
     base.update(overrides)
     return AutoscaleObservation(**base)
 
@@ -355,15 +356,15 @@ class TestSimulator:
 
     def test_knob_validation(self, gpu_session, trace):
         bad = [
-            dict(slo_ms=0.0),
-            dict(slo_ms=30.0, slo_percentile=100.0),
-            dict(slo_ms=30.0, windows=0),
-            dict(slo_ms=30.0, min_nodes=0),
-            dict(slo_ms=30.0, min_nodes=5, max_nodes=4),
-            dict(slo_ms=30.0, cooldown_s=-1.0),
-            dict(slo_ms=30.0, provision_delay_s=-0.1),
-            dict(slo_ms=30.0, headroom=1.5),
-            dict(slo_ms=30.0, initial_nodes=0),
+            {"slo_ms": 0.0},
+            {"slo_ms": 30.0, "slo_percentile": 100.0},
+            {"slo_ms": 30.0, "windows": 0},
+            {"slo_ms": 30.0, "min_nodes": 0},
+            {"slo_ms": 30.0, "min_nodes": 5, "max_nodes": 4},
+            {"slo_ms": 30.0, "cooldown_s": -1.0},
+            {"slo_ms": 30.0, "provision_delay_s": -0.1},
+            {"slo_ms": 30.0, "headroom": 1.5},
+            {"slo_ms": 30.0, "initial_nodes": 0},
         ]
         for knobs in bad:
             with pytest.raises(ValueError):
@@ -433,14 +434,14 @@ class TestElasticFleetExperiment:
 
 
 class TestCliAutoscale:
-    ARGS = [
+    ARGS: ClassVar[list[str]] = [
         "autoscale", "small", "--max-rows", str(MAX_ROWS),
         "--windows", "4", "--interval-s", "0.05", "--seed", "7",
         "--policy", "reactive-utilisation", "--policy", "static",
     ]
 
     def test_json_stdout_is_pure_and_deterministic(self, capsys):
-        assert main(self.ARGS + ["--json"]) == 0
+        assert main([*self.ARGS, "--json"]) == 0
         first = capsys.readouterr().out
         payload = json.loads(first)
         assert set(payload["policies"]) == {
@@ -449,7 +450,7 @@ class TestCliAutoscale:
         for record in payload["policies"].values():
             assert record["timeline"]
             assert record["static_baseline"] is not None
-        assert main(self.ARGS + ["--json"]) == 0
+        assert main([*self.ARGS, "--json"]) == 0
         assert capsys.readouterr().out == first
 
     def test_human_output(self, capsys):

@@ -2,6 +2,7 @@
 
 import copy
 import json
+from typing import ClassVar
 
 import pytest
 
@@ -734,14 +735,14 @@ class TestCompare:
 
 
 class TestCliBench:
-    ARGS = [
+    ARGS: ClassVar[list[str]] = [
         "bench", "--quick", "--backend", "fpga", "--backend", "cpu",
         "--batch", "1", "--batch", "64", "--max-rows", "128",
     ]
 
     def test_json_stdout_is_pure(self, capsys, tmp_path):
         out_path = tmp_path / "BENCH_ci.json"
-        assert main(self.ARGS + ["--json", "--output", str(out_path)]) == 0
+        assert main([*self.ARGS, "--json", "--output", str(out_path)]) == 0
         out = capsys.readouterr().out
         assert out.lstrip().startswith("{")
         parsed = json.loads(out)
@@ -751,12 +752,12 @@ class TestCliBench:
 
     def test_compare_flag(self, capsys, tmp_path):
         baseline = tmp_path / "BENCH_base.json"
-        assert main(self.ARGS + ["--json", "--output", str(baseline)]) == 0
+        assert main([*self.ARGS, "--json", "--output", str(baseline)]) == 0
         capsys.readouterr()
         fresh = tmp_path / "BENCH_fresh.json"
         assert main(
-            self.ARGS
-            + ["--json", "--output", str(fresh), "--compare", str(baseline)]
+            [*self.ARGS,
+             "--json", "--output", str(fresh), "--compare", str(baseline)]
         ) == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["comparison"]["baseline_name"] == "quick"
@@ -764,20 +765,20 @@ class TestCliBench:
 
     def test_human_output(self, capsys, tmp_path):
         out_path = tmp_path / "BENCH_h.json"
-        assert main(self.ARGS + ["--output", str(out_path)]) == 0
+        assert main([*self.ARGS, "--output", str(out_path)]) == 0
         out = capsys.readouterr().out
         assert "small/fpga" in out
         assert "us/query" in out
 
     def test_fail_on_regression_gate(self, capsys, tmp_path):
         baseline = tmp_path / "BENCH_gate.json"
-        assert main(self.ARGS + ["--json", "--output", str(baseline)]) == 0
+        assert main([*self.ARGS, "--json", "--output", str(baseline)]) == 0
         capsys.readouterr()
         # Same sweep vs itself: deltas are zero, the gate stays open.
         assert main(
-            self.ARGS
-            + ["--output", str(tmp_path / "BENCH_same.json"),
-               "--compare", str(baseline), "--fail-on-regression"]
+            [*self.ARGS,
+             "--output", str(tmp_path / "BENCH_same.json"),
+             "--compare", str(baseline), "--fail-on-regression"]
         ) == 0
         capsys.readouterr()
         # Inflate the baseline's throughput: the fresh run now "regressed".
@@ -787,9 +788,9 @@ class TestCliBench:
         fast_baseline = tmp_path / "BENCH_fast.json"
         write_payload(doctored, str(fast_baseline))
         assert main(
-            self.ARGS
-            + ["--output", str(tmp_path / "BENCH_slow.json"),
-               "--compare", str(fast_baseline), "--fail-on-regression", "5"]
+            [*self.ARGS,
+             "--output", str(tmp_path / "BENCH_slow.json"),
+             "--compare", str(fast_baseline), "--fail-on-regression", "5"]
         ) == 1
         captured = capsys.readouterr()
         assert "regression" in captured.err
@@ -890,7 +891,7 @@ class TestCliBench:
         assert payload["config"]["tiering_policy"] == "lfu"
         assert payload["config"]["tiering_alpha"] == 1.2
 
-    WC_ARGS = [
+    WC_ARGS: ClassVar[list[str]] = [
         "bench", "--quick", "--backend", "cpu", "--batch", "1",
         "--max-rows", "128", "--no-cluster", "--no-autoscale",
         "--no-sharding",
@@ -899,9 +900,9 @@ class TestCliBench:
     def test_stamp_wall_clock_budgets_flag(self, capsys, tmp_path):
         out_path = tmp_path / "BENCH_stamped.json"
         assert main(
-            self.WC_ARGS
-            + ["--json", "--output", str(out_path),
-               "--stamp-wall-clock-budgets", "3"]
+            [*self.WC_ARGS,
+             "--json", "--output", str(out_path),
+             "--stamp-wall-clock-budgets", "3"]
         ) == 0
         payload = json.loads(capsys.readouterr().out)
         for result in payload["results"]:
@@ -912,18 +913,18 @@ class TestCliBench:
     def test_wall_clock_budget_cli_gate(self, capsys, tmp_path):
         baseline = tmp_path / "BENCH_wc.json"
         assert main(
-            self.WC_ARGS
-            + ["--json", "--output", str(baseline),
-               "--stamp-wall-clock-budgets", "1000"]
+            [*self.WC_ARGS,
+             "--json", "--output", str(baseline),
+             "--stamp-wall-clock-budgets", "1000"]
         ) == 0
         capsys.readouterr()
         # Generously stamped budgets: the gate stays open (the huge PCT
         # keeps ordinary metric noise out of the way).
         assert main(
-            self.WC_ARGS
-            + ["--output", str(tmp_path / "BENCH_ok.json"),
-               "--compare", str(baseline),
-               "--fail-on-regression", "1000000000"]
+            [*self.WC_ARGS,
+             "--output", str(tmp_path / "BENCH_ok.json"),
+             "--compare", str(baseline),
+             "--fail-on-regression", "1000000000"]
         ) == 0
         capsys.readouterr()
         # Doctor the budgets to an impossible ceiling: the gate trips on
@@ -934,26 +935,26 @@ class TestCliBench:
         tight = tmp_path / "BENCH_tightwc.json"
         write_payload(doctored, str(tight))
         assert main(
-            self.WC_ARGS
-            + ["--output", str(tmp_path / "BENCH_over.json"),
-               "--compare", str(tight),
-               "--fail-on-regression", "1000000000"]
+            [*self.WC_ARGS,
+             "--output", str(tmp_path / "BENCH_over.json"),
+             "--compare", str(tight),
+             "--fail-on-regression", "1000000000"]
         ) == 1
         assert "exceeds budget" in capsys.readouterr().err
         # The fleet-wide scale loosens the same baseline without edits.
         assert main(
-            self.WC_ARGS
-            + ["--output", str(tmp_path / "BENCH_loose.json"),
-               "--compare", str(tight),
-               "--fail-on-regression", "1000000000",
-               "--wall-clock-budget-scale", "1e12"]
+            [*self.WC_ARGS,
+             "--output", str(tmp_path / "BENCH_loose.json"),
+             "--compare", str(tight),
+             "--fail-on-regression", "1000000000",
+             "--wall-clock-budget-scale", "1e12"]
         ) == 0
 
     def test_bad_budget_scale_exits_2(self, capsys, tmp_path):
         assert main(
-            self.WC_ARGS
-            + ["--output", str(tmp_path / "x.json"),
-               "--wall-clock-budget-scale", "-1"]
+            [*self.WC_ARGS,
+             "--output", str(tmp_path / "x.json"),
+             "--wall-clock-budget-scale", "-1"]
         ) == 2
         assert "--wall-clock-budget-scale" in capsys.readouterr().err
 

@@ -10,6 +10,7 @@ same node count.
 """
 
 import json
+from typing import ClassVar
 
 import numpy as np
 import pytest
@@ -470,15 +471,15 @@ class TestAcceptance:
 
 
 class TestClusterCli:
-    ARGS = [
+    ARGS: ClassVar[list[str]] = [
         "cluster", "small", "--max-rows", str(MAX_ROWS),
         "--duration-s", "0.05", "--seed", "11",
     ]
 
     def test_json_is_byte_identical_across_runs(self, capsys):
-        assert main(self.ARGS + ["--json"]) == 0
+        assert main([*self.ARGS, "--json"]) == 0
         first = capsys.readouterr().out
-        assert main(self.ARGS + ["--json"]) == 0
+        assert main([*self.ARGS, "--json"]) == 0
         second = capsys.readouterr().out
         assert first == second
         payload = json.loads(first)
@@ -493,9 +494,9 @@ class TestClusterCli:
 
     def test_tier_counts_and_router_flag(self, capsys):
         assert main(
-            self.ARGS
-            + ["--tier", "fpga:2", "--tier", "cpu", "--router",
-               "least-loaded", "--json"]
+            [*self.ARGS,
+             "--tier", "fpga:2", "--tier", "cpu", "--router",
+             "least-loaded", "--json"]
         ) == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["cluster"]["tiers"] == {"fpga": 2, "cpu": 1}
@@ -505,27 +506,27 @@ class TestClusterCli:
         # Two cpu tiers hosting different models must not collapse into
         # one mislabeled homogeneous-comparison row.
         assert main(
-            self.ARGS
-            + ["--tier", "cpu:1:small", "--tier", "cpu:1:large", "--json"]
+            [*self.ARGS,
+             "--tier", "cpu:1:small", "--tier", "cpu:1:large", "--json"]
         ) == 0
         payload = json.loads(capsys.readouterr().out)
         assert set(payload["singles"]) == {"cpu:small", "cpu:large"}
 
     def test_bad_inputs_exit_2(self, capsys):
-        assert main(self.ARGS + ["--router", "warp"]) == 2
-        assert main(self.ARGS + ["--tier", "fpga:none"]) == 2
-        assert main(self.ARGS + ["--tier", "a:1:b:c"]) == 2
-        assert main(self.ARGS + ["--process", "sawtooth"]) == 2
+        assert main([*self.ARGS, "--router", "warp"]) == 2
+        assert main([*self.ARGS, "--tier", "fpga:none"]) == 2
+        assert main([*self.ARGS, "--tier", "a:1:b:c"]) == 2
+        assert main([*self.ARGS, "--process", "sawtooth"]) == 2
         assert main(["cluster", "medium"]) == 2
         capsys.readouterr()
 
     def test_bad_knobs_exit_2_not_traceback(self, capsys):
         # The CLI error contract: bad values exit 2 with the library's
         # one-line message, never an uncaught traceback.
-        assert main(self.ARGS + ["--duration-s", "-1"]) == 2
-        assert main(self.ARGS + ["--headroom", "1.5"]) == 2
-        assert main(self.ARGS + ["--qps", "-5"]) == 2
-        assert main(self.ARGS + ["--utilisation", "-0.5"]) == 2
+        assert main([*self.ARGS, "--duration-s", "-1"]) == 2
+        assert main([*self.ARGS, "--headroom", "1.5"]) == 2
+        assert main([*self.ARGS, "--qps", "-5"]) == 2
+        assert main([*self.ARGS, "--utilisation", "-0.5"]) == 2
         capsys.readouterr()
 
     def test_info_lists_routing_policies(self, capsys):

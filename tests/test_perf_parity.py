@@ -173,7 +173,7 @@ def _reference_least_loaded(arrivals_ns, replicas):
     out = np.empty(arrivals_ns.size, dtype=np.int64)
     order = sorted(range(len(replicas)), key=lambda i: (ii[i], i))
     for k, t in enumerate(arrivals_ns):
-        best = min(order, key=lambda i: max(free[i], t))
+        best = min(order, key=lambda i, t=t: max(free[i], t))
         out[k] = best
         free[best] = max(free[best], t) + ii[best]
     return out
@@ -194,7 +194,7 @@ def _reference_cheapest_first(arrivals_ns, replicas, max_backlog_ms=5.0):
                 best = i
                 break
         else:
-            best = min(order, key=lambda i: max(free[i], t))
+            best = min(order, key=lambda i, t=t: max(free[i], t))
         out[k] = best
         free[best] = max(free[best], t) + ii[best]
     return out
@@ -222,7 +222,7 @@ def _reference_sla_aware(arrivals_ns, replicas, slo_ms):
         if best is None:
             best = min(
                 order,
-                key=lambda i: max(free[i], t) - t + service_ns[i],
+                key=lambda i, t=t: max(free[i], t) - t + service_ns[i],
             )
         out[k] = best
         free[best] = max(free[best], t) + ii[best]

@@ -3,6 +3,7 @@ Session wiring (serve_trace / sweep / fleet_sla), and the ``repro serve``
 CLI verb."""
 
 import json
+from typing import ClassVar
 
 import numpy as np
 import pytest
@@ -129,9 +130,12 @@ class TestLoadSweep:
         assert point.meets_slo == (point.tail_ms <= curve.slo_ms)
 
     def test_deterministic(self, cpu_session):
-        kwargs = dict(
-            process="bursty", utilisations=(0.5,), duration_s=0.05, seed=3
-        )
+        kwargs = {
+            "process": "bursty",
+            "utilisations": (0.5,),
+            "duration_s": 0.05,
+            "seed": 3,
+        }
         first = load_sweep(cpu_session, **kwargs)
         second = load_sweep(cpu_session, **kwargs)
         assert first.as_dict() == second.as_dict()
@@ -284,14 +288,14 @@ class TestSessionWiring:
 
 
 class TestCliServe:
-    ARGS = [
+    ARGS: ClassVar[list[str]] = [
         "serve", "small", "--max-rows", "128", "--duration-s", "0.02",
         "--backend", "cpu", "--backend", "fpga",
         "--utilisation", "0.3", "--utilisation", "0.9",
     ]
 
     def test_json_output_shape(self, capsys):
-        assert main(self.ARGS + ["--json"]) == 0
+        assert main([*self.ARGS, "--json"]) == 0
         captured = capsys.readouterr()
         payload = json.loads(captured.out)
         assert set(payload["backends"]) == {"cpu", "fpga"}
@@ -304,9 +308,9 @@ class TestCliServe:
             assert lab["fleet_sla"]["nodes"] >= lab["fleet"]["nodes"]
 
     def test_json_is_deterministic(self, capsys):
-        assert main(self.ARGS + ["--json", "--seed", "9"]) == 0
+        assert main([*self.ARGS, "--json", "--seed", "9"]) == 0
         first = capsys.readouterr().out
-        assert main(self.ARGS + ["--json", "--seed", "9"]) == 0
+        assert main([*self.ARGS, "--json", "--seed", "9"]) == 0
         second = capsys.readouterr().out
         assert first == second
 
@@ -318,7 +322,7 @@ class TestCliServe:
         assert "fleet @" in out
 
     def test_unknown_process_exits_2(self, capsys):
-        assert main(self.ARGS + ["--process", "sawtooth"]) == 2
+        assert main([*self.ARGS, "--process", "sawtooth"]) == 2
         assert "unknown arrival process" in capsys.readouterr().err
 
     def test_unknown_model_exits_2(self, capsys):

@@ -20,10 +20,10 @@ class TestTableSpec:
     @pytest.mark.parametrize(
         "kwargs",
         [
-            dict(rows=0, dim=4),
-            dict(rows=4, dim=0),
-            dict(rows=4, dim=4, dtype_bytes=0),
-            dict(rows=4, dim=4, lookups_per_inference=0),
+            {"rows": 0, "dim": 4},
+            {"rows": 4, "dim": 0},
+            {"rows": 4, "dim": 4, "dtype_bytes": 0},
+            {"rows": 4, "dim": 4, "lookups_per_inference": 0},
         ],
     )
     def test_invalid_spec_rejected(self, kwargs):
@@ -33,7 +33,7 @@ class TestTableSpec:
     def test_size_key_orders_smallest_first(self):
         small = TableSpec(5, rows=10, dim=4)
         big = TableSpec(1, rows=1000, dim=4)
-        assert sorted([big, small], key=lambda s: s.size_key)[0] is small
+        assert min([big, small], key=lambda s: s.size_key) is small
 
 
 class TestMaterializedTable:

@@ -9,6 +9,7 @@ fleet recovers to warm steady state.
 """
 
 import json
+from typing import ClassVar
 
 import numpy as np
 import pytest
@@ -375,7 +376,7 @@ class TestTieredStorageExperiment:
 
 
 class TestCliTiers:
-    ARGS = [
+    ARGS: ClassVar[list[str]] = [
         "tiers", "small", "--max-rows", "128", "--utilisation", "0.5",
         "--duration-s", "0.05", "--warm-accesses", "1024",
         "--sim-queries", "256",
@@ -384,7 +385,7 @@ class TestCliTiers:
     def test_json_stdout_is_pure_and_deterministic(self, capsys):
         outputs = []
         for _ in range(2):
-            assert main(self.ARGS + ["--json"]) == 0
+            assert main([*self.ARGS, "--json"]) == 0
             outputs.append(capsys.readouterr().out)
         assert outputs[0] == outputs[1]
         payload = json.loads(outputs[0])
@@ -400,12 +401,12 @@ class TestCliTiers:
         assert "cold" in out
 
     def test_policy_flag_selects_the_policy(self, capsys):
-        assert main(self.ARGS + ["--policy", "lfu", "--json"]) == 0
+        assert main([*self.ARGS, "--policy", "lfu", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["policy"] == "lfu"
 
     def test_unknown_policy_exits_2(self, capsys):
-        assert main(self.ARGS + ["--policy", "belady"]) == 2
+        assert main([*self.ARGS, "--policy", "belady"]) == 2
         assert "belady" in capsys.readouterr().err
 
     def test_unknown_model_exits_2(self):
