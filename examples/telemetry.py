@@ -1,0 +1,112 @@
+"""Always-on telemetry: live counters, digest tails, spans, exporters.
+
+A `ServingResult` is four percentiles over one window; the telemetry
+plane (`repro.telemetry`) is everything underneath — while a routed
+tiered cluster replays a trace, per-tier dispatch and spill counters,
+tier hit/miss counts, and a streaming quantile digest of every
+latency accumulate on the surface's always-on hub.  Digests merge
+associatively, so per-window (or per-replica) tails combine into
+fleet-wide tails without keeping raw samples, and the whole snapshot
+renders through a registered exporter.
+
+  deploy_cluster(...)  ->  serve_trace(...)  ->  hub.render(exporter)
+
+Run:  python examples/telemetry.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster import ReplicaSpec, deploy_cluster
+from repro.memory import scaled_tier_hierarchy
+from repro.serving import PopularityModel, bursty_trace
+from repro.telemetry import SpanRecorder, Telemetry, available_exporters
+
+MAX_ROWS = 4096
+SLO_MS = 30.0
+SEED = 0
+
+
+def main() -> None:
+    # -- a routed, tiered cluster: the observed system --------------------
+    cluster = deploy_cluster(
+        [
+            ReplicaSpec(model="small", backend="fpga"),  # primary tier
+            ReplicaSpec(model="small", backend="gpu"),   # overflow
+            ReplicaSpec(model="small", backend="cpu", count=2),
+        ],
+        router="sla-aware",
+        slo_ms=SLO_MS,
+        max_rows=MAX_ROWS,
+    )
+    rows = MAX_ROWS
+    cluster.attach_tiers(
+        scaled_tier_hierarchy(
+            rows, policy="lru", hot_fraction=0.125,
+            warm_accesses=4096, sim_queries=512,
+        ),
+        popularity=PopularityModel(rows=rows, alpha=1.05),
+        seed=SEED,
+    )
+
+    # -- trace replay: telemetry accumulates on the cluster's own hub -----
+    rate = 0.7 * cluster.perf().throughput_items_per_s
+    trace = bursty_trace(np.random.default_rng(SEED), rate, 0.1)
+    result = cluster.serve_trace(trace, seed=SEED)
+    hub = cluster.telemetry
+    print(
+        f"replayed {result.count:,} queries through "
+        f"{cluster.backend} (blended p99 {result.p99_ms:.3f} ms)"
+    )
+
+    # -- live counters: who served what, who spilled ----------------------
+    served = hub.metrics.counter(f"serve.requests.{cluster.backend}").value
+    print(f"\ncounters after the replay ({served:,.0f} requests):")
+    for tier in cluster.tiers():
+        dispatched = hub.metrics.counter(f"cluster.dispatch.{tier}").value
+        print(f"  dispatch {tier:>5}: {dispatched:10,.0f}")
+    primary = cluster.tiers()[0]
+    spilled = hub.metrics.counter(f"cluster.spill.{primary}").value
+    print(f"  spill off {primary:>4}: {spilled:10,.0f}")
+
+    # -- digest tails: streaming percentiles, no raw samples kept ---------
+    digest = hub.metrics.histogram(f"serve.latency_ms.{cluster.backend}").digest
+    print(
+        f"\nlatency digest over {digest.count:,} observations "
+        f"({len(digest.to_dict()['bins'])} sparse bins):"
+    )
+    for q in (50.0, 99.0, 99.9):
+        print(f"  p{q:<5g} {digest.quantile(q):8.3f} ms")
+
+    # -- digests merge: two windows -> one fleet-wide tail ----------------
+    morning, evening = Telemetry(), Telemetry()
+    cluster.serve_trace(trace, seed=1, telemetry=morning)
+    cluster.serve_trace(trace.scaled(1.5), seed=2, telemetry=evening)
+    name = f"serve.latency_ms.{cluster.backend}"
+    merged = morning.metrics.histogram(name).digest.merge(
+        evening.metrics.histogram(name).digest
+    )
+    print(
+        f"\nmerged two windows: {merged.count:,} observations, "
+        f"fleet-wide p99 {merged.quantile(99.0):.3f} ms"
+    )
+
+    # -- spans: opt-in sampled per-request phase breakdowns ---------------
+    hub.spans = SpanRecorder(sample_rate=0.01, seed=SEED)
+    cluster.serve_trace(trace, seed=SEED)
+    print(f"\nsampled {len(hub.spans.spans)} spans; first three:")
+    for span in hub.spans.spans[:3]:
+        phases = ", ".join(f"{p} {d:,.0f} ns" for p, d in span.phases)
+        print(f"  request {span.request_index:>6}: {phases}")
+
+    # -- exporters ride a registry, like backends and routers -------------
+    print(f"\nexporters: {', '.join(available_exporters())}")
+    lines = hub.render("prometheus-text").splitlines()
+    print("prometheus-text (first 10 lines):")
+    for line in lines[:10]:
+        print(f"  {line}")
+
+
+if __name__ == "__main__":
+    main()

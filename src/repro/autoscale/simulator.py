@@ -51,6 +51,7 @@ from repro.autoscale.policies import (
 )
 from repro.serving.arrivals import RateTrace, segment, trace_arrivals
 from repro.serving.lab import lab_seed
+from repro.telemetry.digest import exact_quantile
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.runtime.session import ServingSurface
@@ -419,9 +420,19 @@ def _run_policy(
     service_ms: float,
     seed: int,
     plan: _WindowPlan | None = None,
+    telemetry: object = None,
 ) -> tuple[AutoscaleWindow, ...]:
     """The control loop itself (shared by elastic runs and the static
-    baseline replay)."""
+    baseline replay).
+
+    ``telemetry`` follows the ``serve`` knob convention (None = the
+    surface's own hub, False = off, or an explicit hub): each window
+    feeds a per-policy tail-latency histogram plus scaling-event and
+    cold-start counters — the observability trail of every resize
+    decision the policy makes.
+    """
+    hub = surface._resolve_telemetry(telemetry)
+    metrics = hub.metrics if hub is not None else None
     if plan is None:
         plan = _window_plan(trace, n_windows)
     delay_windows = (
@@ -487,10 +498,19 @@ def _run_policy(
         # One partition pass serves all four quantiles.
         p50, p95, p99, tail_ms = (
             float(v)
-            for v in np.percentile(
+            for v in exact_quantile(
                 latencies_ms, (50.0, 95.0, 99.0, slo_percentile)
             )
         )
+        if metrics is not None:
+            metrics.histogram(
+                f"autoscale.window_tail_ms.{policy.name}"
+            ).observe(tail_ms)
+            metrics.gauge(f"autoscale.nodes.{policy.name}").set(float(active))
+            if cold_nodes:
+                metrics.counter(
+                    f"autoscale.cold_node_windows.{policy.name}"
+                ).inc(cold_nodes)
         capacity = active * per_node_qps
         utilisation = rate / capacity if capacity > 0 else 0.0
         pending_total = sum(pending.values())
@@ -545,12 +565,20 @@ def _run_policy(
         committed = active + sum(pending.values())
         if desired != committed and now >= cooldown_until:
             if desired > committed:
+                if metrics is not None:
+                    metrics.counter(
+                        f"autoscale.scale_up.{policy.name}"
+                    ).inc(desired - committed)
                 # Scale-ups ride the provisioning delay before serving.
                 activation = w + 1 + delay_windows
                 pending[activation] = (
                     pending.get(activation, 0) + desired - committed
                 )
             else:
+                if metrics is not None:
+                    metrics.counter(
+                        f"autoscale.scale_down.{policy.name}"
+                    ).inc(committed - desired)
                 # Scale-downs cancel not-yet-online orders first (they
                 # cost nothing to abort), then decommission active nodes
                 # effective from the next window.
@@ -597,6 +625,7 @@ def simulate_autoscale(
     seed: int = 0,
     compare_static: bool = True,
     static_baseline: StaticBaseline | None = None,
+    telemetry: object = None,
 ) -> AutoscaleResult:
     """Drive an elastic fleet of ``surface`` through ``trace``.
 
@@ -644,6 +673,13 @@ def simulate_autoscale(
         trace, SLO, seed), so callers comparing several policies over
         the same inputs compute it once and pass it to the rest
         (``compare_static`` is then ignored).
+    telemetry:
+        Observability hook following the :meth:`ServingSurface.serve`
+        convention — ``None`` (default) feeds the surface's own
+        always-on hub, ``False`` disables emission, or pass an explicit
+        :class:`~repro.telemetry.Telemetry` hub.  Each control window
+        records a per-policy tail-latency histogram, a fleet-size
+        gauge, and scale-up / scale-down / cold-node counters.
 
     Returns the :class:`AutoscaleResult` timeline; the whole simulation
     is deterministic for fixed arguments.
@@ -699,6 +735,7 @@ def simulate_autoscale(
         "service_ms": perf.serving_latency_ms,
         "seed": seed,
         "plan": plan,
+        "telemetry": telemetry,
     }
     timeline = _run_policy(
         surface, trace, policy_obj, initial_nodes=initial_nodes, **run

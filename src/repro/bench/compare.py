@@ -75,8 +75,22 @@ TIERING_METRICS = {
     "cold_p99_ms": "higher-is-worse",
 }
 
+#: Telemetry-plane metrics (schema v8) compared when both artifacts
+#: carry a non-null ``telemetry`` block: the digest-estimated routed
+#: tails, the spill share off the primary tier, and (when the tiering
+#: block also ran) the hot tier's counted hit rate.  A drifting digest
+#: or a mis-counted dispatch moves these even when the underlying
+#: serving numbers hold still.
+TELEMETRY_METRICS = {
+    "digest_p99_ms": "higher-is-worse",
+    "digest_p999_ms": "higher-is-worse",
+    "spill_share": "higher-is-worse",
+    "hot_hit_rate": "lower-is-worse",
+}
+
 #: Every compared metric's regression direction
-#: (perf + serving + cluster + autoscale + sharding + tiering).
+#: (perf + serving + cluster + autoscale + sharding + tiering +
+#: telemetry).
 ALL_METRIC_DIRECTIONS = {
     **METRICS,
     **SERVING_METRICS,
@@ -84,6 +98,7 @@ ALL_METRIC_DIRECTIONS = {
     **AUTOSCALE_METRICS,
     **SHARDING_METRICS,
     **TIERING_METRICS,
+    **TELEMETRY_METRICS,
 }
 
 
@@ -166,6 +181,30 @@ def _tiering_metrics(payload: dict) -> dict[str, float] | None:
         "warm_p99_ms": warm["p99_ms"],
         "cold_p99_ms": cold["p99_ms"],
     }
+
+
+def _telemetry_metrics(payload: dict) -> dict[str, float] | None:
+    """Flatten a payload's telemetry block into comparable scalars.
+
+    ``hot_hit_rate`` is present only when the block carried tier hit
+    rates (the sweep's tiering block was enabled); the comparison then
+    diffs the intersection of both sides' metrics, so a one-sided hit
+    rate degrades to absent rather than failing.
+    """
+    telemetry = payload.get("telemetry")
+    if not isinstance(telemetry, dict):
+        return None
+    out = {
+        "digest_p99_ms": telemetry["latency_ms"]["p99"],
+        "digest_p999_ms": telemetry["latency_ms"]["p999"],
+        "spill_share": telemetry["spill_share"],
+    }
+    hit_rates = telemetry.get("tier_hit_rates")
+    if isinstance(hit_rates, dict) and hit_rates:
+        # The hierarchy's fastest tier leads the hit-rate map; its rate
+        # is the one cache-sizing decisions watch.
+        out["hot_hit_rate"] = next(iter(hit_rates.values()))
+    return out
 
 
 def _autoscale_metrics(payload: dict) -> dict[str, float] | None:
@@ -260,6 +299,8 @@ def compare_payloads(
     validate_payload(new)
     old_pairs = _by_pair(old)
     new_pairs = _by_pair(new)
+    old_telemetry = _telemetry_metrics(old)
+    new_telemetry = _telemetry_metrics(new)
     entries = []
     for key in sorted(old_pairs.keys() & new_pairs.keys()):
         old_perf = old_pairs[key]["perf"]
@@ -313,6 +354,17 @@ def compare_payloads(
             _tiering_metrics(new),
             TIERING_METRICS,
         ),
+        "telemetry": _block_deltas(
+            old_telemetry,
+            new_telemetry,
+            {
+                metric: direction
+                for metric, direction in TELEMETRY_METRICS.items()
+                if old_telemetry is None
+                or new_telemetry is None
+                or (metric in old_telemetry and metric in new_telemetry)
+            },
+        ),
         "wall_clock": {
             "budget_scale": wall_clock_budget_scale,
             "entries": _wall_clock_entries(
@@ -351,6 +403,7 @@ def regressions(
         "autoscale": ("autoscale", "elastic"),
         "sharding": ("sharding", "fan-out"),
         "tiering": ("tiering", "tiered"),
+        "telemetry": ("telemetry", "observed"),
     }.items():
         deltas = comparison.get(block)
         if deltas:

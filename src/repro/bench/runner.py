@@ -93,6 +93,11 @@ class BenchConfig:
     tiering_alpha: float = 1.05
     #: Fraction of the tiering block's working set the hot tier holds.
     tiering_hot_fraction: float = 0.125
+    #: Whether the v8 telemetry block runs (one routed serve observed
+    #: through the always-on metric hub: digest tails, dispatch/spill
+    #: shares, tier hit rates); ``False`` disables the block
+    #: (``"telemetry": null``).
+    telemetry: bool = True
     #: When set, stamp every result's ``wall_clock_budget_s`` (schema v6)
     #: at ``multiplier x`` its measured wall clock — the one-command way
     #: to regenerate a budgeted baseline artifact (pick ~3x so routine
@@ -480,6 +485,118 @@ def _bench_tiering(config: BenchConfig) -> dict[str, object] | None:
     return {"model": model_name, **block}
 
 
+def _bench_telemetry(config: BenchConfig) -> dict[str, object] | None:
+    """The v8 telemetry block: the observability plane's own numbers.
+
+    Serves one poisson window through a routed cluster (the cluster
+    block's tiers, or a single replica of the first swept backend when
+    the cluster block is disabled) into a fresh
+    :class:`~repro.telemetry.Telemetry` hub, then reads the headline
+    figures back *out of the metric registry*: digest-estimated latency
+    tails, per-tier dispatch shares, the spill share off the primary
+    tier, and — when the tiering block is enabled — the steady-state
+    tier hit rates counted by the cache cascade.  ``--compare`` diffs
+    these, so drift in the telemetry plane itself (digest error,
+    mis-counted dispatch) gates CI like any serving regression.
+    """
+    if not config.telemetry:
+        return None
+    from repro.cluster import ReplicaSpec, deploy_cluster
+    from repro.serving.arrivals import poisson_arrivals
+    from repro.serving.lab import lab_seed
+    from repro.telemetry import Telemetry
+
+    import numpy as np
+
+    model_name = config.models[0]
+    tiers = tuple(config.cluster_backends) or (config.resolved_backends()[0],)
+    router = config.cluster_router if config.cluster_backends else "round-robin"
+    cluster = deploy_cluster(
+        [ReplicaSpec(model=model_name, backend=b) for b in tiers],
+        router=router,
+        slo_ms=config.slo_ms,
+        max_rows=config.max_rows,
+        seed=config.seed,
+    )
+    hub = Telemetry()
+    rate = (
+        config.cluster_utilisation * cluster.perf().throughput_items_per_s
+    )
+    rng = np.random.default_rng(
+        lab_seed(config.seed, cluster.backend, "bench-telemetry")
+    )
+    arrivals = poisson_arrivals(rng, rate, config.serve_duration_s)
+    cluster.serve(arrivals, telemetry=hub)
+    digest = hub.metrics.histogram(
+        f"serve.latency_ms.{cluster.backend}"
+    ).digest
+    dispatch = {
+        tier: hub.metrics.counter(f"cluster.dispatch.{tier}").value
+        for tier in cluster.tiers()
+    }
+    total = sum(dispatch.values())
+    primary = cluster.tiers()[0]
+    spill = hub.metrics.counter(f"cluster.spill.{primary}").value
+
+    tier_hit_rates: dict[str, float] | None = None
+    if config.tiering_policy:
+        from repro.memory.tiers import scaled_tier_hierarchy
+        from repro.serving.popularity import PopularityModel
+
+        session = deploy_model(
+            model_name,
+            backend=config.resolved_backends()[0],
+            max_rows=config.max_rows,
+            seed=config.seed,
+        )
+        rows = sum(t.rows for t in session.model.tables)
+        session.attach_tiers(
+            scaled_tier_hierarchy(
+                rows,
+                policy=config.tiering_policy,
+                hot_fraction=config.tiering_hot_fraction,
+                warm_accesses=4096,
+                sim_queries=512,
+            ),
+            popularity=PopularityModel(
+                rows=rows, alpha=config.tiering_alpha
+            ),
+            seed=config.seed,
+        )
+        session.perf()  # feeds tiers.hits.* into the session's own hub
+        hits = {
+            name: session.telemetry.metrics.counter(
+                f"tiers.hits.{name}"
+            ).value
+            for name in session.tier_hierarchy.names
+        }
+        accesses = sum(hits.values())
+        tier_hit_rates = {
+            name: (served / accesses if accesses else 0.0)
+            for name, served in hits.items()
+        }
+    return {
+        "model": model_name,
+        "tiers": list(tiers),
+        "router": router,
+        "rate_per_s": rate,
+        "utilisation": config.cluster_utilisation,
+        "duration_s": config.serve_duration_s,
+        "queries": digest.count,
+        "latency_ms": {
+            "p50": digest.quantile(50.0),
+            "p99": digest.quantile(99.0),
+            "p999": digest.quantile(99.9),
+        },
+        "dispatch_shares": {
+            tier: (count / total if total else 0.0)
+            for tier, count in dispatch.items()
+        },
+        "spill_share": (spill / total if total else 0.0),
+        "tier_hit_rates": tier_hit_rates,
+    }
+
+
 def _bench_one(
     model_name: str, backend: str, config: BenchConfig
 ) -> dict[str, object]:
@@ -610,6 +727,15 @@ def run_bench(
             f"effective lookup {steady['effective_lookup_ns']:,.0f} ns "
             f"(hot {steady['hot_lookup_ns']:,.0f} ns)"
         )
+    telemetry_block = _bench_telemetry(config)
+    if telemetry_block is not None:
+        latency = telemetry_block["latency_ms"]
+        emit(
+            f"bench telemetry {'+'.join(telemetry_block['tiers'])}: "
+            f"digest p99 {latency['p99']:.3f} ms over "
+            f"{telemetry_block['queries']:,} observed queries, "
+            f"spill {telemetry_block['spill_share']:.1%}"
+        )
     payload: dict[str, object] = {
         "suite": SUITE,
         "schema_version": SCHEMA_VERSION,
@@ -637,6 +763,7 @@ def run_bench(
             "tiering_policy": config.tiering_policy,
             "tiering_alpha": config.tiering_alpha,
             "tiering_hot_fraction": config.tiering_hot_fraction,
+            "telemetry": config.telemetry,
             "wall_clock_budget_multiplier": (
                 config.wall_clock_budget_multiplier
             ),
@@ -646,6 +773,7 @@ def run_bench(
         "autoscale": autoscale_block,
         "sharding": sharding_block,
         "tiering": tiering_block,
+        "telemetry": telemetry_block,
         "wall_clock_s": time.perf_counter() - started,
     }
     return validate_payload(payload)

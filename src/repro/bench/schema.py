@@ -44,8 +44,13 @@ from typing import Sequence
 #: the hierarchy, the warm steady-state hit rate, and warm-vs-cold
 #: latency curves; null when the sweep disabled it), the tiering knobs
 #: in ``config``, and the per-window ``cold_nodes`` count in the
-#: autoscale timeline.
-SCHEMA_VERSION = 7
+#: autoscale timeline.  v8 added the top-level ``telemetry`` block (one
+#: routed serve observed through the always-on metric hub: digest-
+#: estimated latency tails, per-tier dispatch shares, the spill share
+#: off the primary tier, and the cache cascade's tier hit rates; null
+#: when the sweep disabled it) and the ``telemetry`` boolean knob in
+#: ``config``.
+SCHEMA_VERSION = 8
 
 #: The ``suite`` discriminator: distinguishes our artifacts from any other
 #: JSON a pipeline might hand the validator.
@@ -254,6 +259,14 @@ def _check_config(config: object, path: str) -> None:
     _check_number(
         config, path, "tiering_hot_fraction", minimum=0, exclusive=True
     )
+    # v8 telemetry knob: false means the sweep disabled the telemetry
+    # block (and ``$.telemetry`` must then be null).
+    telemetry = _get(config, path, "telemetry")
+    if not isinstance(telemetry, bool):
+        _fail(
+            f"{path}.telemetry",
+            f"expected a boolean, got {telemetry!r}",
+        )
 
 
 def _check_perf(perf: object, path: str) -> None:
@@ -647,6 +660,46 @@ def _check_tiering(tiering: object, path: str) -> None:
     _check_curve(_get(tiering, path, "cold"), f"{path}.cold")
 
 
+def _check_telemetry(telemetry: object, path: str) -> None:
+    """The v8 telemetry block: digest tails + dispatch/spill/hit shares."""
+    if not isinstance(telemetry, dict):
+        _fail(path, f"expected an object, got {telemetry!r}")
+    _check_str(telemetry, path, "model")
+    _check_str_list(telemetry, path, "tiers")
+    _check_str(telemetry, path, "router")
+    _check_number(telemetry, path, "rate_per_s", minimum=0, exclusive=True)
+    _check_number(telemetry, path, "utilisation", minimum=0, exclusive=True)
+    _check_number(telemetry, path, "duration_s", minimum=0, exclusive=True)
+    _check_int(telemetry, path, "queries", minimum=1)
+    latency = _get(telemetry, path, "latency_ms")
+    if not isinstance(latency, dict):
+        _fail(f"{path}.latency_ms", f"expected an object, got {latency!r}")
+    for key in ("p50", "p99", "p999"):
+        _check_number(
+            latency, f"{path}.latency_ms", key, minimum=0, exclusive=True
+        )
+    shares = _get(telemetry, path, "dispatch_shares")
+    if not isinstance(shares, dict) or not shares:
+        _fail(
+            f"{path}.dispatch_shares",
+            f"expected a non-empty object, got {shares!r}",
+        )
+    for name in shares:
+        _check_fraction(shares, f"{path}.dispatch_shares", name)
+    _check_fraction(telemetry, path, "spill_share")
+    hit_rates = _get(telemetry, path, "tier_hit_rates")
+    if hit_rates is not None:
+        # null when the sweep's tiering block is disabled — there is
+        # then no cache cascade to count hits from.
+        if not isinstance(hit_rates, dict) or not hit_rates:
+            _fail(
+                f"{path}.tier_hit_rates",
+                f"expected null or a non-empty object, got {hit_rates!r}",
+            )
+        for name in hit_rates:
+            _check_fraction(hit_rates, f"{path}.tier_hit_rates", name)
+
+
 def _check_result(result: object, path: str) -> None:
     if not isinstance(result, dict):
         _fail(path, f"expected an object, got {result!r}")
@@ -732,6 +785,11 @@ def validate_payload(payload: object) -> dict:
         # Same contract again: opt-out-able via tiering_policy="",
         # but the key itself must exist.
         _check_tiering(tiering, "$.tiering")
+    telemetry = _get(payload, "$", "telemetry")
+    if telemetry is not None:
+        # Same contract again: opt-out-able via telemetry=false,
+        # but the key itself must exist.
+        _check_telemetry(telemetry, "$.telemetry")
     results = _get(payload, "$", "results")
     if not isinstance(results, list) or not results:
         _fail("$.results", f"expected a non-empty list, got {results!r}")

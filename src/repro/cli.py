@@ -825,6 +825,90 @@ def _cmd_tiers(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.serving.arrivals import ARRIVAL_PROCESSES, arrivals_for
+    from repro.serving.lab import lab_seed
+    from repro.telemetry import SpanRecorder, available_exporters
+
+    if (rc := _check_model(args.model)) is not None:
+        return rc
+    if args.process not in ARRIVAL_PROCESSES:
+        return _fail(
+            f"unknown arrival process {args.process!r}; "
+            f"available: {list(ARRIVAL_PROCESSES)}"
+        )
+    if args.exporter not in available_exporters():
+        return _fail(
+            f"unknown exporter {args.exporter!r}; "
+            f"available: {list(available_exporters())}"
+        )
+    if args.tier:
+        from repro.cluster import UnknownRoutingPolicyError, deploy_cluster
+        from repro.runtime import UnknownBackendError
+
+        try:
+            specs = [_parse_tier(text, args.model) for text in args.tier]
+        except ValueError as exc:
+            return _fail(str(exc))
+        for spec in specs:
+            if (rc := _check_model(spec.model)) is not None:
+                return rc
+        try:
+            surface = deploy_cluster(
+                specs,
+                router=args.router,
+                slo_ms=args.slo_ms,
+                max_rows=args.max_rows,
+                seed=args.seed,
+            )
+        except (
+            UnknownRoutingPolicyError,
+            UnknownBackendError,
+            ValueError,
+        ) as exc:
+            return _fail(str(exc))
+    else:
+        surface = _build_session(args, seed=args.seed)
+        if surface is None:
+            return 2
+    hub = surface.telemetry
+    if args.spans:
+        hub.spans = SpanRecorder(sample_rate=args.span_rate, seed=args.seed)
+    capacity = surface.perf().throughput_items_per_s
+    rate = args.rate if args.rate is not None else args.utilisation * capacity
+    if rate <= 0:
+        return _fail(f"offered rate must be positive, got {rate}")
+    rng = np.random.default_rng(
+        lab_seed(args.seed, surface.backend, args.process, "stats")
+    )
+    try:
+        arrivals = arrivals_for(args.process, rng, rate, args.duration_s)
+        surface.serve(arrivals)
+    except ValueError as exc:
+        return _fail(str(exc))
+    if args.json:
+        payload = {
+            "model": args.model,
+            "backend": surface.backend,
+            "process": args.process,
+            "duration_s": args.duration_s,
+            "rate_per_s": rate,
+            "seed": args.seed,
+            "telemetry": hub.snapshot(),
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(
+        f"telemetry: {args.model}/{surface.backend}, "
+        f"{args.process} @ {rate:,.0f}/s for {args.duration_s:g}s "
+        f"(seed {args.seed})"
+    )
+    print(hub.render(exporter=args.exporter))
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import (
         BenchConfig,
@@ -886,6 +970,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         overrides["tiering_alpha"] = args.tiering_alpha
     if args.tiering_hot_fraction is not None:
         overrides["tiering_hot_fraction"] = args.tiering_hot_fraction
+    if args.no_telemetry:
+        overrides["telemetry"] = False
     if args.batch:
         overrides["batches"] = tuple(args.batch)
     if args.max_rows is not None:
@@ -1005,6 +1091,7 @@ def _cmd_info(args: argparse.Namespace) -> int:
     from repro.memory import available_cache_policies
     from repro.models.spec import MODEL_FACTORIES
     from repro.runtime import available_backends
+    from repro.telemetry import available_exporters
 
     if args.json:
         models = {}
@@ -1024,6 +1111,7 @@ def _cmd_info(args: argparse.Namespace) -> int:
                     "scaler_policies": list(available_scalers()),
                     "sharding_strategies": list(available_strategies()),
                     "cache_policies": list(available_cache_policies()),
+                    "telemetry_exporters": list(available_exporters()),
                     "lint_rules": list(available_rules()),
                     "models": models,
                     "experiments": list(EXPERIMENTS),
@@ -1038,6 +1126,7 @@ def _cmd_info(args: argparse.Namespace) -> int:
     print(f"scaler policies: {', '.join(available_scalers())}")
     print(f"sharding strategies: {', '.join(available_strategies())}")
     print(f"cache policies: {', '.join(available_cache_policies())}")
+    print(f"telemetry exporters: {', '.join(available_exporters())}")
     print(f"lint rules: {', '.join(available_rules())}")
     print("\nproduction models (+ benchmark family):")
     for name, factory in MODEL_FACTORIES.items():
@@ -1064,6 +1153,7 @@ def _registry_epilog() -> str:
     from repro.memory import available_cache_policies
     from repro.models.spec import MODEL_FACTORIES
     from repro.runtime import available_backends
+    from repro.telemetry import available_exporters
 
     return (
         f"registered models: {' | '.join(MODEL_FACTORIES)}\n"
@@ -1074,6 +1164,8 @@ def _registry_epilog() -> str:
         f"{' | '.join(available_strategies())}\n"
         f"registered cache policies: "
         f"{' | '.join(available_cache_policies())}\n"
+        f"registered telemetry exporters: "
+        f"{' | '.join(available_exporters())}\n"
         f"registered lint rules: {' | '.join(available_rules())}"
     )
 
@@ -1480,6 +1572,68 @@ def build_parser() -> argparse.ArgumentParser:
     p_tiers.add_argument("--json", action="store_true")
     p_tiers.set_defaults(func=_cmd_tiers)
 
+    from repro.telemetry import available_exporters
+
+    p_stats = sub.add_parser(
+        "stats",
+        help="serve one seeded window and dump the telemetry plane "
+        "(counters, digest tails, optional trace spans)",
+        epilog=_registry_epilog(),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    p_stats.add_argument("model", help=_model_help())
+    _add_backend_flag(p_stats, default="fpga")
+    p_stats.add_argument(
+        "--tier", action="append", default=None,
+        metavar="BACKEND[:COUNT[:MODEL]]",
+        help="serve through a routed cluster instead of a single session "
+        "(repeatable, as in `repro cluster`)",
+    )
+    p_stats.add_argument(
+        "--router", default="sla-aware",
+        help="routing policy when --tier is given",
+    )
+    p_stats.add_argument(
+        "--exporter", default="table",
+        help=f"output format ({' | '.join(available_exporters())})",
+    )
+    p_stats.add_argument(
+        "--spans", action="store_true",
+        help="record sampled per-request trace spans",
+    )
+    p_stats.add_argument(
+        "--span-rate", type=float, default=0.001, metavar="FRAC",
+        help="span sampling rate when --spans is on (default 0.001)",
+    )
+    p_stats.add_argument(
+        "--process", default="poisson", metavar="NAME",
+        help=_process_help("arrival process of the served traffic")
+        + "; default poisson",
+    )
+    p_stats.add_argument(
+        "--utilisation", type=float, default=0.8, metavar="FRAC",
+        help="offered load as a fraction of capacity (default 0.8)",
+    )
+    p_stats.add_argument(
+        "--rate", type=float, default=None, metavar="QPS",
+        help="absolute offered rate in queries/s (overrides --utilisation)",
+    )
+    p_stats.add_argument(
+        "--slo-ms", type=float, default=30.0,
+        help="latency SLO the sla-aware router uses when --tier is given",
+    )
+    p_stats.add_argument(
+        "--duration-s", type=float, default=0.2,
+        help="simulated serving window (default 0.2 s)",
+    )
+    p_stats.add_argument(
+        "--max-rows", type=int, default=None,
+        help="row-cap tables before deployment",
+    )
+    p_stats.add_argument("--seed", type=int, default=0)
+    p_stats.add_argument("--json", action="store_true")
+    p_stats.set_defaults(func=_cmd_stats)
+
     p_bench = sub.add_parser(
         "bench",
         help="sweep backends x models x batches into BENCH_<name>.json",
@@ -1556,6 +1710,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument(
         "--no-tiering", action="store_true",
         help='omit the tiering block ("tiering": null in the artifact)',
+    )
+    p_bench.add_argument(
+        "--no-telemetry", action="store_true",
+        help='omit the telemetry block ("telemetry": null in the '
+        "artifact)",
     )
     p_bench.add_argument(
         "--max-rows", type=int, default=None,

@@ -47,6 +47,7 @@ from repro.cluster.routing import (
     SlaAwarePolicy,
     UnknownRoutingPolicyError,
     available_policies,
+    dispatch_counts,
     get_policy,
     register_policy,
 )
@@ -60,6 +61,7 @@ __all__ = [
     "ReplicaView",
     "UnknownRoutingPolicyError",
     "available_policies",
+    "dispatch_counts",
     "get_policy",
     "register_policy",
     "RoundRobinPolicy",

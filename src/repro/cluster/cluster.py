@@ -15,16 +15,24 @@ plus per-tier breakdowns and fleet-level cost.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
-from repro.cluster.routing import ReplicaView, RoutingPolicy, get_policy
+from repro.cluster.routing import (
+    ReplicaView,
+    RoutingPolicy,
+    dispatch_counts,
+    get_policy,
+)
 from repro.models.workload import QueryBatch
 from repro.runtime.perf import PerfEstimate
 from repro.runtime.session import ServingSurface, Session
 from repro.serving.queueing import ServingResult
 from repro.serving.sla import DEFAULT_SLA_MS
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry import Telemetry
 
 
 @dataclass(frozen=True)
@@ -94,11 +102,7 @@ class ClusterServingResult(ServingResult):
 
     def tier_counts(self) -> dict[str, int]:
         """Queries served per backend tier (first-appearance order)."""
-        counts: dict[str, int] = {}
-        per_replica = self.replica_counts()
-        for i, name in enumerate(self.replica_backends):
-            counts[name] = counts.get(name, 0) + per_replica[i]
-        return counts
+        return dispatch_counts(self.assignments, self.replica_backends)
 
     def tier_share(self, backend: str) -> float:
         """Fraction of blended queries served by one backend tier.
@@ -432,6 +436,45 @@ class Cluster(ServingSurface):
             ),
             router=self.router.name,
             usd_per_hour=self.usd_per_hour,
+        )
+
+    # -- telemetry -----------------------------------------------------------
+
+    def _telemetry_extra(
+        self, hub: "Telemetry", result: ServingResult
+    ) -> None:
+        """Count per-tier dispatch and off-primary spill.
+
+        The primary tier is the cluster's first-listed backend (the
+        fastest under the ``sla-aware`` convention); every query the
+        router sent elsewhere counts as spill.
+        """
+        if not isinstance(result, ClusterServingResult):
+            return
+        metrics = hub.metrics
+        counts = dispatch_counts(
+            result.assignments, result.replica_backends
+        )
+        for tier, queries in counts.items():
+            metrics.counter(f"cluster.dispatch.{tier}").inc(queries)
+        primary = self.tiers()[0]
+        metrics.counter(f"cluster.spill.{primary}").inc(
+            result.count - counts.get(primary, 0)
+        )
+
+    def _span_phases(
+        self, total_ns: float, service_ns: float, tier_ns: float
+    ) -> tuple[tuple[str, float], ...]:
+        """Bracket the per-replica phases with the cluster's own.
+
+        Routing decisions and result gathers are instantaneous in the
+        simulation, so their spans record zero duration — present in
+        the trace (the request *did* route and gather) but free.
+        """
+        return (
+            ("route-decision", 0.0),
+            *super()._span_phases(total_ns, service_ns, tier_ns),
+            ("gather", 0.0),
         )
 
     # -- reporting ----------------------------------------------------------

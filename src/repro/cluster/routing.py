@@ -150,6 +150,30 @@ def available_policies() -> tuple[str, ...]:
     return tuple(sorted(_REGISTRY))
 
 
+def dispatch_counts(
+    assignments: np.ndarray, replica_backends: Sequence[str]
+) -> dict[str, int]:
+    """Queries dispatched per backend tier (first-appearance order).
+
+    The one accounting of a routing outcome shared by
+    :meth:`~repro.cluster.cluster.ClusterServingResult.tier_counts`
+    and the telemetry dispatch/spill counters: ``assignments`` holds
+    one replica index per query, replicas group into tiers by backend
+    name, and tiers that served nothing still appear with 0.
+    """
+    counts: dict[str, int] = {
+        name: 0 for name in dict.fromkeys(replica_backends)
+    }
+    if len(replica_backends):
+        per_replica = np.bincount(
+            np.asarray(assignments, dtype=np.int64),
+            minlength=len(replica_backends),
+        )
+        for i, name in enumerate(replica_backends):
+            counts[name] += int(per_replica[i])
+    return counts
+
+
 # ---------------------------------------------------------------------------
 # Built-in policies
 # ---------------------------------------------------------------------------

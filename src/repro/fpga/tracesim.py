@@ -28,6 +28,7 @@ from repro.fpga.accelerator import FpgaAcceleratorModel
 from repro.fpga.eventsim import SimResult, simulate_with_lookup_jitter
 from repro.memory.dramsim import DramChannelSim, DramTimingParams
 from repro.models.workload import QueryBatch
+from repro.telemetry.digest import exact_quantile
 
 
 @dataclass(frozen=True)
@@ -42,11 +43,11 @@ class TraceReport:
         return int(self.lookup_ns.size)
 
     def lookup_percentile_ns(self, q: float) -> float:
-        return float(np.percentile(self.lookup_ns, q))
+        return float(exact_quantile(self.lookup_ns, q))
 
     def latency_percentile_us(self, q: float) -> float:
         lat = [self.engine.item_latency_ns(i) for i in range(self.queries)]
-        return float(np.percentile(lat, q)) / 1e3
+        return float(exact_quantile(lat, q)) / 1e3
 
     @property
     def throughput_items_per_s(self) -> float:

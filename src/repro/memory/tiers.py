@@ -33,9 +33,12 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Protocol, runtime_checkable
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.metrics import MetricRegistry
 
 from repro.memory.cache import lru_hit_flags
 from repro.memory.spec import (
@@ -414,13 +417,23 @@ class TierHierarchy:
         return assigned
 
     def simulate(
-        self, keys: np.ndarray, *, warmup_keys: np.ndarray | None = None
+        self,
+        keys: np.ndarray,
+        *,
+        warmup_keys: np.ndarray | None = None,
+        metrics: "MetricRegistry | None" = None,
     ) -> TierLookupStats:
         """Tier-by-tier serve counts for ``keys``.
 
         ``warmup_keys`` are replayed first to pre-warm every cache but
         are excluded from the reported stats — pass a steady-state
         prefix for "warm" numbers, nothing for "cold" numbers.
+
+        ``metrics`` (a :class:`~repro.telemetry.MetricRegistry`)
+        additionally feeds per-tier hit/miss counters: each tier's
+        serves count as ``tiers.hits.<tier>``, and every lookup the
+        hot tier could not answer counts as ``tiers.misses.<hot>``.
+        The returned stats are identical with or without it.
         """
         keys = np.asarray(keys, dtype=np.int64).ravel()
         if warmup_keys is not None and np.asarray(warmup_keys).size:
@@ -431,11 +444,18 @@ class TierHierarchy:
         else:
             assigned = self.assign_tiers(keys)
         served = np.bincount(assigned, minlength=len(self.tiers))
-        return TierLookupStats(
+        stats = TierLookupStats(
             tiers=self.names,
             access_ns=self.tier_access_ns,
             served=tuple(int(c) for c in served),
         )
+        if metrics is not None:
+            for name, count in zip(self.names, stats.served):
+                metrics.counter(f"tiers.hits.{name}").inc(count)
+            metrics.counter(f"tiers.misses.{self.hot.name}").inc(
+                stats.accesses - stats.served[0]
+            )
+        return stats
 
     def penalty_ns(self, assigned: np.ndarray) -> np.ndarray:
         """Per-access latency added over an all-hot-tier lookup."""

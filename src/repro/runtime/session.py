@@ -57,6 +57,7 @@ if TYPE_CHECKING:  # lazy at runtime: lab/capacity build on sessions
     from repro.serving.arrivals import RateTrace
     from repro.serving.lab import LoadCurve
     from repro.serving.popularity import PopularityModel
+    from repro.telemetry import Telemetry
 
 
 class ServingSurface:
@@ -92,6 +93,11 @@ class ServingSurface:
     tier_seed: int = 0
     #: Embedding lookups issued per served query.
     _tier_lookups: int = 1
+    #: Default telemetry hub (created lazily on first use).
+    _telemetry: "Telemetry | None" = None
+    #: Serves observed so far — the span sampler's stream tag, so the
+    #: same seed samples the same requests of the same serve sequence.
+    _serve_count: int = 0
 
     def perf(self) -> PerfEstimate:
         """Normalised sustained performance of one deployed unit."""
@@ -176,7 +182,13 @@ class ServingSurface:
         measure = max(1, hierarchy.sim_queries) * self._tier_lookups
         warm_keys = popularity.sample(rng, hierarchy.warm_accesses)
         keys = popularity.sample(rng, measure)
-        stats = hierarchy.simulate(keys, warmup_keys=warm_keys)
+        # The steady-state cascade also feeds the surface's telemetry
+        # hub: per-tier hit/miss counters ride along with the estimate.
+        stats = hierarchy.simulate(
+            keys,
+            warmup_keys=warm_keys,
+            metrics=self.telemetry.metrics,
+        )
         return MemoryPerfEstimate(
             policy=hierarchy.policy,
             hit_rate=stats.hit_rate,
@@ -190,14 +202,21 @@ class ServingSurface:
 
     def _tier_penalty(
         self, arrivals_ns: np.ndarray, warmup: int
-    ) -> np.ndarray:
-        """Per-query tier latency penalty (ns) for one arrival stream.
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-query tier penalty (ns) and per-tier lookup counts.
 
         Content-addressed and memoised: the same arrivals under the
         same warm-up always produce the same penalties, preserving the
         byte-identical ``--json`` guarantees.  At most ``sim_queries``
         queries are simulated through the cache cascade; the penalty
         pattern tiles across longer streams.
+
+        Returns ``(penalty_ns, tier_lookups)``: the per-query penalty
+        aligned with ``arrivals_ns``, and the total lookups landing on
+        each tier (aligned with the hierarchy's tier order, scaled to
+        the full stream when the pattern tiles).  The counts live in
+        the same cache as the penalties, so the telemetry counters
+        keep incrementing on memoised repeat serves.
         """
         from repro.serving.lab import lab_seed
 
@@ -209,13 +228,13 @@ class ServingSurface:
         digest = zlib.crc32(
             np.ascontiguousarray(arrivals_ns[:simulated]).tobytes()
         )
-        cache: dict[tuple[int, int, int], np.ndarray] = getattr(
-            self, "_tier_penalty_cache", None
-        ) or {}
+        cache: dict[
+            tuple[int, int, int], tuple[np.ndarray, np.ndarray]
+        ] = getattr(self, "_tier_penalty_cache", None) or {}
         self._tier_penalty_cache = cache
         key = (n, warmup, digest)
-        per_query = cache.get(key)
-        if per_query is None:
+        cached = cache.get(key)
+        if cached is None:
             lookups = self._tier_lookups
             rng = np.random.default_rng(
                 lab_seed(self.tier_seed, "tiering", warmup, digest)
@@ -238,10 +257,27 @@ class ServingSurface:
                 .reshape(simulated, lookups)
                 .sum(axis=1)
             )
-            cache[key] = per_query
+            # Per-query lookup counts per tier (simulated, tiers):
+            # summed (and tiled) into the telemetry tier counters.
+            tier_count = len(hierarchy.tiers)
+            per_query_tiers = np.zeros(
+                (simulated, tier_count), dtype=np.int64
+            )
+            assigned2d = assigned.reshape(simulated, lookups)
+            for t in range(tier_count):
+                per_query_tiers[:, t] = (assigned2d == t).sum(axis=1)
+            cached = (per_query, per_query_tiers)
+            cache[key] = cached
+        per_query, per_query_tiers = cached
         if n > per_query.size:
-            return per_query[np.arange(n, dtype=np.int64) % per_query.size]
-        return per_query
+            full, rem = divmod(n, per_query.size)
+            tier_lookups = per_query_tiers.sum(axis=0) * full
+            tier_lookups += per_query_tiers[:rem].sum(axis=0)
+            tiled = per_query[
+                np.arange(n, dtype=np.int64) % per_query.size
+            ]
+            return tiled, tier_lookups
+        return per_query, per_query_tiers.sum(axis=0)
 
     def _serve(
         self, arrivals_ns: np.ndarray, **server_knobs: object
@@ -270,7 +306,17 @@ class ServingSurface:
         cold (a freshly provisioned node), the default ``None`` uses
         the hierarchy's ``warm_accesses`` (warm steady state).  Each
         query's completion then carries its simulated tier penalty.
+
+        The ``telemetry`` knob controls observation: the default
+        ``None`` populates this surface's own :attr:`telemetry` hub
+        (always-on digest path), an explicit
+        :class:`~repro.telemetry.Telemetry` instance collects there
+        instead, and ``False`` disables collection for this call.
+        Telemetry strictly *observes* the finished result — the
+        returned latencies are byte-identical whichever way the knob
+        is set.
         """
+        telemetry = server_knobs.pop("telemetry", None)
         tier_warmup = server_knobs.pop("tier_warmup", None)
         if tier_warmup is not None and self.tier_hierarchy is None:
             raise TypeError(
@@ -284,21 +330,178 @@ class ServingSurface:
                 "(raise the rate or the duration)"
             )
         result = self._serve(arrivals, **server_knobs)
-        if self.tier_hierarchy is None:
-            return result
-        warmup = (
-            self.tier_hierarchy.warm_accesses
-            if tier_warmup is None
-            else int(tier_warmup)
+        tier_penalty = None
+        tier_lookups = None
+        if self.tier_hierarchy is not None:
+            warmup = (
+                self.tier_hierarchy.warm_accesses
+                if tier_warmup is None
+                else int(tier_warmup)
+            )
+            if warmup < 0:
+                raise ValueError(
+                    f"tier_warmup must be >= 0, got {warmup}"
+                )
+            # The cluster path sorts internally; align penalties with
+            # the stream the result actually reports.
+            tier_penalty, tier_lookups = self._tier_penalty(
+                result.arrivals_ns, warmup
+            )
+            result = replace(
+                result, completions_ns=result.completions_ns + tier_penalty
+            )
+        hub = self._resolve_telemetry(telemetry)
+        if hub is not None:
+            self._observe_serve(hub, result, tier_lookups, tier_penalty)
+        return result
+
+    # -- telemetry -----------------------------------------------------------
+
+    @property
+    def telemetry(self) -> "Telemetry":
+        """This surface's default telemetry hub (created on first use).
+
+        Every ``serve`` observes here unless the call overrides the
+        ``telemetry=`` knob; digests keep the state O(bins), so the
+        default stays affordable on arbitrarily long streams.
+        """
+        if self._telemetry is None:
+            from repro.telemetry import Telemetry
+
+            self._telemetry = Telemetry()
+        return self._telemetry
+
+    def attach_telemetry(
+        self, telemetry: "Telemetry"
+    ) -> "ServingSurface":
+        """Bind a telemetry hub to this surface (returns self).
+
+        The attached hub replaces the lazily-created default — the way
+        to enable span recording (construct the hub with a
+        :class:`~repro.telemetry.SpanRecorder`) or to share one hub
+        across several surfaces.
+        """
+        from repro.telemetry import Telemetry
+
+        if not isinstance(telemetry, Telemetry):
+            raise TypeError(
+                f"{self.backend}: attach_telemetry needs a Telemetry "
+                f"hub, got {telemetry!r}"
+            )
+        self._telemetry = telemetry
+        return self
+
+    def _resolve_telemetry(self, knob: object) -> "Telemetry | None":
+        """Map the ``telemetry=`` serve knob onto a hub (or None = off)."""
+        if knob is None:
+            return self.telemetry
+        if knob is False:
+            return None
+        from repro.telemetry import Telemetry
+
+        if isinstance(knob, Telemetry):
+            return knob
+        raise TypeError(
+            f"{self.backend}: telemetry must be a Telemetry hub, "
+            f"False, or None, got {knob!r}"
         )
-        if warmup < 0:
-            raise ValueError(f"tier_warmup must be >= 0, got {warmup}")
-        # The cluster path sorts internally; align penalties with the
-        # stream the result actually reports.
-        penalty = self._tier_penalty(result.arrivals_ns, warmup)
-        return replace(
-            result, completions_ns=result.completions_ns + penalty
+
+    def _observe_serve(
+        self,
+        hub: "Telemetry",
+        result: ServingResult,
+        tier_lookups: np.ndarray | None = None,
+        tier_penalty_ns: np.ndarray | None = None,
+    ) -> None:
+        """Populate ``hub`` from one finished serve (observation only)."""
+        backend = self.backend
+        metrics = hub.metrics
+        metrics.counter(f"serve.requests.{backend}").inc(result.count)
+        metrics.histogram(
+            f"serve.latency_ms.{backend}"
+        ).observe_many(result.latencies_ms)
+        if tier_lookups is not None:
+            hierarchy = self.tier_hierarchy
+            assert hierarchy is not None
+            for tier, lookups in zip(hierarchy.tiers, tier_lookups):
+                metrics.counter(
+                    f"tiers.lookups.{tier.name}.{backend}"
+                ).inc(int(lookups))
+        self._telemetry_extra(hub, result)
+        stream = self._serve_count
+        self._serve_count = stream + 1
+        if hub.spans is not None:
+            self._record_spans(hub, result, stream, tier_penalty_ns)
+
+    def _telemetry_extra(
+        self, hub: "Telemetry", result: ServingResult
+    ) -> None:
+        """Surface-specific observation hook (cluster dispatch/spill)."""
+
+    def _record_spans(
+        self,
+        hub: "Telemetry",
+        result: ServingResult,
+        stream: int,
+        tier_penalty_ns: np.ndarray | None,
+    ) -> None:
+        """Build spans for a seeded sample of this serve's requests.
+
+        The simulators are vectorised, so phases are reconstructed
+        post-hoc from the completion timeline: the engine's nominal
+        single-item service time bounds the ``service`` phase, the
+        simulated tier penalty is the ``tier-lookup`` phase, and the
+        remainder is ``queue-wait``.
+        """
+        recorder = hub.spans
+        assert recorder is not None
+        indices = recorder.sample_indices(
+            result.count, "serve", self.backend, stream
         )
+        if indices.size == 0:
+            return
+        from repro.telemetry import RequestSpan
+
+        service_ns = self.perf().latency_us * 1e3
+        arrivals = result.arrivals_ns
+        totals = result.completions_ns - result.arrivals_ns
+        source = f"serve:{self.backend}:{stream}"
+        for i in indices:
+            index = int(i)
+            tier_ns = (
+                float(tier_penalty_ns[index])
+                if tier_penalty_ns is not None
+                else 0.0
+            )
+            span = RequestSpan(
+                source=source,
+                request_index=index,
+                arrival_ns=float(arrivals[index]),
+                phases=self._span_phases(
+                    float(totals[index]), service_ns, tier_ns
+                ),
+            )
+            if not recorder.record(span):
+                break
+
+    def _span_phases(
+        self, total_ns: float, service_ns: float, tier_ns: float
+    ) -> tuple[tuple[str, float], ...]:
+        """Decompose one request's latency into span phases.
+
+        Single-surface requests split into queue-wait / service (/
+        tier-lookup when a hierarchy is attached); the cluster
+        override brackets these with its routing phases.
+        """
+        service = min(max(total_ns - tier_ns, 0.0), service_ns)
+        queue = max(total_ns - tier_ns - service, 0.0)
+        phases: list[tuple[str, float]] = [
+            ("queue-wait", queue),
+            ("service", service),
+        ]
+        if self.tier_hierarchy is not None:
+            phases.append(("tier-lookup", tier_ns))
+        return tuple(phases)
 
     def serve_trace(
         self,

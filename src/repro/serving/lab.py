@@ -201,22 +201,28 @@ def load_sweep(
         arrivals = arrivals_for(process, rng, rate, duration_s)
         if arrivals.size == 0:
             continue
-        result = session.serve(arrivals, **server_knobs)
-        tail = result.percentile_ms(slo_percentile)
+        # compact() folds the full latency array into exact summary
+        # statistics plus a digest, so the sweep holds one O(bins)
+        # record per grid point instead of every point's raw arrays —
+        # the difference between a 10M-arrival sweep fitting in memory
+        # and not.
+        summary = session.serve(arrivals, **server_knobs).compact(
+            slo_ms=slo_ms, slo_percentile=slo_percentile
+        )
         points.append(
             LoadPoint(
                 rate_per_s=float(rate),
                 utilisation=float(rate) / capacity,
-                queries=result.count,
-                mean_ms=result.mean_ms,
-                p50_ms=result.p50_ms,
-                p95_ms=result.p95_ms,
-                p99_ms=result.p99_ms,
-                p999_ms=result.p999_ms,
-                tail_ms=tail,
-                sla_attainment=result.sla_attainment(slo_ms),
-                achieved_qps=result.achieved_throughput_per_s,
-                meets_slo=tail <= slo_ms,
+                queries=summary.queries,
+                mean_ms=summary.mean_ms,
+                p50_ms=summary.p50_ms,
+                p95_ms=summary.p95_ms,
+                p99_ms=summary.p99_ms,
+                p999_ms=summary.p999_ms,
+                tail_ms=summary.tail_ms,
+                sla_attainment=summary.sla_attainment,
+                achieved_qps=summary.achieved_qps,
+                meets_slo=summary.meets_slo,
             )
         )
     return LoadCurve(

@@ -15,9 +15,14 @@ load approaches pipeline capacity.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
+
+from repro.telemetry.digest import exact_quantile
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.digest import QuantileDigest
 
 
 @dataclass(frozen=True)
@@ -53,7 +58,7 @@ class ServingResult:
         return (self.completions_ns - self.arrivals_ns) / 1e6
 
     def percentile_ms(self, q: float) -> float:
-        return float(np.percentile(self.latencies_ms, q))
+        return float(exact_quantile(self.latencies_ms, q))
 
     @property
     def p50_ms(self) -> float:
@@ -85,6 +90,82 @@ class ServingResult:
     def achieved_throughput_per_s(self) -> float:
         span_ns = float(self.completions_ns.max() - self.arrivals_ns.min())
         return self.count / (span_ns / 1e9) if span_ns > 0 else float("inf")
+
+    def compact(
+        self,
+        *,
+        slo_ms: float,
+        slo_percentile: float = 99.0,
+    ) -> "CompactServingResult":
+        """Fold this result into summary statistics plus a digest.
+
+        Everything downstream consumers read — the exact percentile
+        set, SLA attainment, achieved throughput — is computed once
+        (with the same arithmetic the lazy properties use, so the
+        numbers are bit-identical), a streaming digest of the latency
+        distribution is attached for telemetry, and the returned
+        object holds **no reference to the raw arrays**.  Sweeps over
+        many grid points keep one compact record per point instead of
+        every point's full latency array (see
+        :func:`repro.serving.lab.load_sweep`).
+        """
+        if slo_ms <= 0:
+            raise ValueError(f"slo_ms must be positive, got {slo_ms}")
+        if not 0 < slo_percentile < 100:
+            raise ValueError(
+                f"slo_percentile must be in (0, 100), "
+                f"got {slo_percentile}"
+            )
+        from repro.telemetry.digest import QuantileDigest
+
+        latencies = self.latencies_ms
+        digest = QuantileDigest()
+        digest.add_many(latencies)
+        return CompactServingResult(
+            queries=self.count,
+            mean_ms=float(latencies.mean()),
+            p50_ms=float(exact_quantile(latencies, 50)),
+            p95_ms=float(exact_quantile(latencies, 95)),
+            p99_ms=float(exact_quantile(latencies, 99)),
+            p999_ms=float(exact_quantile(latencies, 99.9)),
+            tail_ms=float(exact_quantile(latencies, slo_percentile)),
+            slo_percentile=float(slo_percentile),
+            sla_attainment=float((latencies <= slo_ms).mean()),
+            slo_ms=float(slo_ms),
+            achieved_qps=self.achieved_throughput_per_s,
+            digest=digest,
+        )
+
+
+@dataclass(frozen=True)
+class CompactServingResult:
+    """Summary statistics of one serve, raw arrays dropped.
+
+    Produced by :meth:`ServingResult.compact`: the exact percentile
+    figures consumers already relied on, plus the streaming digest
+    standing in for the full latency distribution.  Holding one of
+    these costs O(digest bins), not O(queries).
+    """
+
+    queries: int
+    mean_ms: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    p999_ms: float
+    #: Exact latency at ``slo_percentile`` (what SLO checks judge).
+    tail_ms: float
+    slo_percentile: float
+    #: Fraction of queries answered within ``slo_ms``.
+    sla_attainment: float
+    slo_ms: float
+    achieved_qps: float
+    #: Streaming digest of the latency distribution (ms).
+    digest: "QuantileDigest"
+
+    @property
+    def meets_slo(self) -> bool:
+        return self.tail_ms <= self.slo_ms
 
 
 class BatchedServerSim:
